@@ -1,0 +1,397 @@
+package iupdater_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablations of the design choices called out in DESIGN.md. Each
+// benchmark runs the corresponding experiment driver end to end and
+// reports the figure's headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates (a single-seed pass of) the entire evaluation. cmd/figgen
+// produces the full multi-seed report.
+
+import (
+	"testing"
+
+	"iupdater/internal/core"
+	"iupdater/internal/eval"
+	"iupdater/internal/loc"
+	"iupdater/internal/mat"
+	"iupdater/internal/testbed"
+)
+
+func benchSeeds() []uint64 { return []uint64{3} }
+
+func BenchmarkFig01ShortTermVariation(b *testing.B) {
+	var swing float64
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig01ShortTermVariation(testbed.Office(), 11)
+		swing = r.SwingDB
+	}
+	b.ReportMetric(swing, "swing_dB")
+}
+
+func BenchmarkFig02LongTermShift(b *testing.B) {
+	var s5, s45 float64
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig02LongTermShift(testbed.Office(), 7)
+		s5, s45 = r.Shift5DB, r.Shift45DB
+	}
+	b.ReportMetric(s5, "shift5d_dB")
+	b.ReportMetric(s45, "shift45d_dB")
+}
+
+func BenchmarkFig05SingularValues(b *testing.B) {
+	var lead float64
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig05SingularValues(testbed.Office(), 3)
+		lead = r.LeadingShare
+	}
+	b.ReportMetric(lead, "leading_share")
+}
+
+func BenchmarkFig06DifferenceStability(b *testing.B) {
+	var raw, nd float64
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig06DifferenceStability(testbed.Office(), 13)
+		raw, nd = r.RawStd, r.NeighborDiffStd
+	}
+	b.ReportMetric(raw, "raw_std_dB")
+	b.ReportMetric(nd, "neighbor_diff_std_dB")
+}
+
+func BenchmarkFig08NLCCDF(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = eval.Fig08NLCCDF(testbed.Office(), 3).FractionBelow02
+	}
+	b.ReportMetric(frac, "frac_below_0.2")
+}
+
+func BenchmarkFig09ALSCDF(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = eval.Fig09ALSCDF(testbed.Office(), 3).FractionBelow04
+	}
+	b.ReportMetric(frac, "frac_below_0.4")
+}
+
+func BenchmarkFig14ReferenceCount(b *testing.B) {
+	var mic, random float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig14ReferenceCount(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mic = r.CDFs[0].Median()
+		random = r.CDFs[3].Median()
+	}
+	b.ReportMetric(mic, "mic8_median_dB")
+	b.ReportMetric(random, "random11_median_dB")
+}
+
+func BenchmarkFig15ReferenceCountOverTime(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig15ReferenceCountOverTime(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r.MeanDB[0][len(r.MeanDB[0])-1]
+	}
+	b.ReportMetric(last, "mic8_3mo_mean_dB")
+}
+
+func BenchmarkFig16ConstraintAblation(b *testing.B) {
+	var rsvd, c1, c12 float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig16ConstraintAblation(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rsvd, c1, c12 = r.RSVD[3], r.C1[3], r.C1C2[3]
+	}
+	b.ReportMetric(rsvd, "rsvd_45d_dB")
+	b.ReportMetric(c1, "c1_45d_dB")
+	b.ReportMetric(c12, "c1c2_45d_dB")
+}
+
+func BenchmarkFig17VariationRobustness(b *testing.B) {
+	var d80, meas float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig17VariationRobustness(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d80 = eval.Mean(r.Data80C2)
+		meas = eval.Mean(r.Measured)
+	}
+	b.ReportMetric(d80, "data80_c2_m")
+	b.ReportMetric(meas, "measured_m")
+}
+
+func BenchmarkFig18ReconstructionCDF(b *testing.B) {
+	var m3d, m3mo float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig18ReconstructionCDF(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m3d = r.CDFs[0].Median()
+		m3mo = r.CDFs[4].Median()
+	}
+	b.ReportMetric(m3d, "median_3d_dB")
+	b.ReportMetric(m3mo, "median_3mo_dB")
+}
+
+func BenchmarkFig19ReconstructionEnvs(b *testing.B) {
+	var hall, library float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig19ReconstructionEnvironments(benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hall = r.MeanDB[0][3]
+		library = r.MeanDB[2][3]
+	}
+	b.ReportMetric(hall, "hall_45d_dB")
+	b.ReportMetric(library, "library_45d_dB")
+}
+
+func BenchmarkFig20LaborScaling(b *testing.B) {
+	var trad, ours float64
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig20LaborScaling()
+		last := r.Points[len(r.Points)-1]
+		trad, ours = last.TraditionalHours, last.IUpdaterHours
+	}
+	b.ReportMetric(trad, "traditional_10x_h")
+	b.ReportMetric(ours, "iupdater_10x_h")
+}
+
+func BenchmarkFig21LocalizationCDF(b *testing.B) {
+	var gt, iu, stale float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig21LocalizationCDF(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gt, iu, stale = r.Groundtruth.Median(), r.IUpdater.Median(), r.Stale.Median()
+	}
+	b.ReportMetric(gt, "groundtruth_median_m")
+	b.ReportMetric(iu, "iupdater_median_m")
+	b.ReportMetric(stale, "stale_median_m")
+}
+
+func BenchmarkFig22LocalizationEnvs(b *testing.B) {
+	var hallImp, libImp float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig22LocalizationEnvironments(benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hallImp = r.ImprovementPct[0]
+		libImp = r.ImprovementPct[2]
+	}
+	b.ReportMetric(hallImp, "hall_improvement_pct")
+	b.ReportMetric(libImp, "library_improvement_pct")
+}
+
+func BenchmarkFig23RASSCDF(b *testing.B) {
+	var iu, rec, stale float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig23RASSComparison(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		iu, rec, stale = r.IUpdater.Median(), r.RASSRec.Median(), r.RASSStale.Median()
+	}
+	b.ReportMetric(iu, "iupdater_median_m")
+	b.ReportMetric(rec, "rass_rec_median_m")
+	b.ReportMetric(stale, "rass_stale_median_m")
+}
+
+func BenchmarkFig24RASSOverTime(b *testing.B) {
+	var iu, rec float64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Fig24RASSOverTime(testbed.Office(), benchSeeds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		iu = eval.Mean(r.IUpdater)
+		rec = eval.Mean(r.RASSRec)
+	}
+	b.ReportMetric(iu, "iupdater_mean_m")
+	b.ReportMetric(rec, "rass_rec_mean_m")
+}
+
+func BenchmarkTableLaborSavings(b *testing.B) {
+	var vs50, vs5 float64
+	for i := 0; i < b.N; i++ {
+		r := eval.LaborSavings()
+		vs50, vs5 = r.SavingVs50Pct, r.SavingVs5Pct
+	}
+	b.ReportMetric(vs50, "saving_vs50_pct")
+	b.ReportMetric(vs5, "saving_vs5_pct")
+}
+
+// --- ablations of design choices (DESIGN.md §6) ---
+
+// ablationScenario builds the standard 45-day update inputs once.
+type ablationInputs struct {
+	sc    *eval.Scenario
+	truth *mat.Dense
+}
+
+func newAblationInputs(b *testing.B) ablationInputs {
+	b.Helper()
+	sc, err := eval.NewScenario(testbed.Office(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := sc.Surveyor.TrueFingerprint(45 * testbed.Day)
+	return ablationInputs{sc: sc, truth: truth.X}
+}
+
+func reconError(sc *eval.Scenario, x *mat.Dense) float64 {
+	return eval.Mean(sc.ReconErrors(x, 45*testbed.Day))
+}
+
+func BenchmarkAblationMIC(b *testing.B) {
+	sc, err := eval.NewScenario(testbed.Office(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var qrcp, rref float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range []core.MICMethod{core.MICQRCP, core.MICRREF} {
+			refs, err := core.MIC(sc.Original.X, 8, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recon, err := sc.UpdateWithRefs(45*testbed.Day, refs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := reconError(sc, recon)
+			if m == core.MICQRCP {
+				qrcp = e
+			} else {
+				rref = e
+			}
+		}
+	}
+	b.ReportMetric(qrcp, "qrcp_mean_dB")
+	b.ReportMetric(rref, "rref_mean_dB")
+}
+
+func BenchmarkAblationSolverVariant(b *testing.B) {
+	in := newAblationInputs(b)
+	var gs, paper float64
+	for i := 0; i < b.N; i++ {
+		for _, v := range []core.Variant{core.VariantGaussSeidel, core.VariantPaper} {
+			sc, err := eval.NewScenario(testbed.Office(), 3, core.WithVariant(v))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, r, err := sc.Update(45 * testbed.Day)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := reconError(in.sc, r.X)
+			if v == core.VariantGaussSeidel {
+				gs = e
+			} else {
+				paper = e
+			}
+		}
+	}
+	b.ReportMetric(gs, "gauss_seidel_mean_dB")
+	b.ReportMetric(paper, "paper_variant_mean_dB")
+}
+
+func BenchmarkAblationInitialization(b *testing.B) {
+	in := newAblationInputs(b)
+	var warm, cold float64
+	for i := 0; i < b.N; i++ {
+		for _, w := range []bool{true, false} {
+			sc, err := eval.NewScenario(testbed.Office(), 3, core.WithWarmStart(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, r, err := sc.Update(45 * testbed.Day)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := reconError(in.sc, r.X)
+			if w {
+				warm = e
+			} else {
+				cold = e
+			}
+		}
+	}
+	b.ReportMetric(warm, "warm_start_mean_dB")
+	b.ReportMetric(cold, "algorithm1_random_mean_dB")
+}
+
+func BenchmarkAblationTermScaling(b *testing.B) {
+	in := newAblationInputs(b)
+	var auto, raw float64
+	for i := 0; i < b.N; i++ {
+		for _, on := range []bool{true, false} {
+			sc, err := eval.NewScenario(testbed.Office(), 3, core.WithAutoScale(on))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, r, err := sc.Update(45 * testbed.Day)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := reconError(in.sc, r.X)
+			if on {
+				auto = e
+			} else {
+				raw = e
+			}
+		}
+	}
+	b.ReportMetric(auto, "autoscale_mean_dB")
+	b.ReportMetric(raw, "rawweights_mean_dB")
+}
+
+func BenchmarkAblationMatcher(b *testing.B) {
+	sc, err := eval.NewScenario(testbed.Office(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, rec, err := sc.Update(45 * testbed.Day)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sc.Surveyor.Channel.Grid()
+	pts := eval.TestPoints(g, 3, 50)
+	matchers := map[string]loc.Localizer{
+		"omp":     loc.NewOMPPoint(rec.X, g, loc.OMPConfig{}),
+		"knn":     loc.NewKNN(rec.X, 3),
+		"nearest": loc.NewNearestColumn(rec.X),
+	}
+	results := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for name, m := range matchers {
+			var errs []float64
+			for k, p := range pts {
+				y := sc.Surveyor.MeasureOnline(p, 45*testbed.Day+3600+float64(k)*40, eval.OnlineSamples)
+				cell, err := m.Locate(y)
+				if err != nil {
+					b.Fatal(err)
+				}
+				errs = append(errs, g.Center(cell).Distance(p))
+			}
+			results[name] = eval.NewCDF(name, errs).Median()
+		}
+	}
+	b.ReportMetric(results["omp"], "omp_median_m")
+	b.ReportMetric(results["knn"], "knn_median_m")
+	b.ReportMetric(results["nearest"], "nearest_median_m")
+}

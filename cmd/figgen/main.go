@@ -1,0 +1,101 @@
+// Command figgen regenerates the data behind every table and figure of
+// the paper's evaluation section against the simulated testbed.
+//
+// Usage:
+//
+//	figgen [-figs all|1,2,5,...] [-seeds n] [-quick]
+//
+// Output is the text rendering of each experiment: the same series the
+// paper plots, recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iupdater/internal/eval"
+	"iupdater/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "figgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("figgen", flag.ContinueOnError)
+	figsFlag := fs.String("figs", "all", "comma-separated figure numbers, or 'all'")
+	seedsFlag := fs.Int("seeds", 3, "number of deployment seeds per experiment")
+	quick := fs.Bool("quick", false, "single-seed fast pass")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*seedsFlag = 1
+	}
+	seeds := eval.DefaultSeeds(*seedsFlag)
+	office := testbed.Office()
+
+	want := map[string]bool{}
+	if *figsFlag == "all" {
+		for _, f := range []string{"1", "2", "5", "6", "8", "9", "14", "15", "16", "17", "18", "19", "20", "21", "22", "23", "24", "labor"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figsFlag, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	emit := func(id string, f func() (string, error)) error {
+		if !want[id] {
+			return nil
+		}
+		start := time.Now()
+		s, err := f()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		fmt.Fprintln(out, s)
+		fmt.Fprintf(out, "(generated in %.1f s)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+
+	steps := []struct {
+		id string
+		f  func() (string, error)
+	}{
+		{"1", func() (string, error) { return eval.Fig01ShortTermVariation(office, seeds[0]).Render(), nil }},
+		{"2", func() (string, error) { return eval.Fig02LongTermShift(office, seeds[0]).Render(), nil }},
+		{"5", func() (string, error) { return eval.Fig05SingularValues(office, seeds[0]).Render(), nil }},
+		{"6", func() (string, error) { return eval.Fig06DifferenceStability(office, seeds[0]).Render(), nil }},
+		{"8", func() (string, error) { return eval.Fig08NLCCDF(office, seeds[0]).Render(), nil }},
+		{"9", func() (string, error) { return eval.Fig09ALSCDF(office, seeds[0]).Render(), nil }},
+		{"14", func() (string, error) { r, err := eval.Fig14ReferenceCount(office, seeds); return r.Render(), err }},
+		{"15", func() (string, error) {
+			r, err := eval.Fig15ReferenceCountOverTime(office, seeds)
+			return r.Render(), err
+		}},
+		{"16", func() (string, error) { r, err := eval.Fig16ConstraintAblation(office, seeds); return r.Render(), err }},
+		{"17", func() (string, error) { r, err := eval.Fig17VariationRobustness(office, seeds); return r.Render(), err }},
+		{"18", func() (string, error) { r, err := eval.Fig18ReconstructionCDF(office, seeds); return r.Render(), err }},
+		{"19", func() (string, error) { r, err := eval.Fig19ReconstructionEnvironments(seeds); return r.Render(), err }},
+		{"20", func() (string, error) { return eval.Fig20LaborScaling().Render(), nil }},
+		{"21", func() (string, error) { r, err := eval.Fig21LocalizationCDF(office, seeds); return r.Render(), err }},
+		{"22", func() (string, error) { r, err := eval.Fig22LocalizationEnvironments(seeds); return r.Render(), err }},
+		{"23", func() (string, error) { r, err := eval.Fig23RASSComparison(office, seeds); return r.Render(), err }},
+		{"24", func() (string, error) { r, err := eval.Fig24RASSOverTime(office, seeds); return r.Render(), err }},
+		{"labor", func() (string, error) { return eval.LaborSavings().Render(), nil }},
+	}
+	for _, st := range steps {
+		if err := emit(st.id, st.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedFigures(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "figgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-figs", "20,labor", "-quick"}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{"Fig 20", "Labor savings", "97.9%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Fig 21") {
+		t.Error("unselected figure rendered")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "figgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-bogus"}, f); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

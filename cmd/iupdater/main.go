@@ -1,0 +1,215 @@
+// Command iupdater demonstrates the library on the simulated testbed:
+//
+//	iupdater survey   [-env office|library|hall] [-seed n]
+//	iupdater update   [-env ...] [-seed n] [-days d]
+//	iupdater localize [-env ...] [-seed n] [-days d] [-x m -y m]
+//	iupdater labor    [-scale k]
+//
+// survey prints the original fingerprint database and its labor cost;
+// update runs the iUpdater refresh after the given number of days and
+// reports accuracy and labor; localize runs an online localization with
+// the refreshed database; labor prints the update-cost model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"iupdater"
+	"iupdater/internal/eval"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "survey":
+		err = runSurvey(os.Args[2:])
+	case "update":
+		err = runUpdate(os.Args[2:])
+	case "localize":
+		err = runLocalize(os.Args[2:])
+	case "labor":
+		err = runLabor(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iupdater: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: iupdater <survey|update|localize|labor> [flags]
+
+  survey    run the original full site survey and print its cost
+  update    refresh the database after -days days of drift
+  localize  refresh, then localize a target at (-x, -y)
+  labor     print the labor-cost model for a -scale x larger area
+`)
+}
+
+func envFlag(fs *flag.FlagSet) *string {
+	return fs.String("env", "office", "environment: office, library or hall")
+}
+
+func pickEnv(name string) (iupdater.Environment, error) {
+	switch name {
+	case "office":
+		return iupdater.Office(), nil
+	case "library":
+		return iupdater.Library(), nil
+	case "hall":
+		return iupdater.Hall(), nil
+	default:
+		return iupdater.Environment{}, fmt.Errorf("unknown environment %q", name)
+	}
+}
+
+func runSurvey(args []string) error {
+	fs := flag.NewFlagSet("survey", flag.ExitOnError)
+	envName := envFlag(fs)
+	seed := fs.Uint64("seed", 1, "deployment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := pickEnv(*envName)
+	if err != nil {
+		return err
+	}
+	tb := iupdater.NewTestbed(env, *seed)
+	_, labor := tb.Survey(0, 50)
+	g := env.Geometry()
+	fmt.Printf("environment: %s (%.0f m x %.0f m, %d links, %d cells)\n",
+		env.Name(), g.WidthM, g.HeightM, g.Links, g.Links*g.PerStrip)
+	fmt.Printf("full survey: %d locations, %s of human labor\n",
+		labor.Locations, labor.Duration.Round(time.Second))
+	return nil
+}
+
+func runUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	envName := envFlag(fs)
+	seed := fs.Uint64("seed", 1, "deployment seed")
+	days := fs.Int("days", 45, "days of drift before the update")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := pickEnv(*envName)
+	if err != nil {
+		return err
+	}
+	tb := iupdater.NewTestbed(env, *seed)
+	original, fullLabor := tb.Survey(0, 50)
+	p, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	if err != nil {
+		return err
+	}
+	at := time.Duration(*days) * 24 * time.Hour
+	refs := p.ReferenceLocations()
+	xr, refLabor := tb.MeasureColumnsLabor(at, refs)
+	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), xr)
+	if err != nil {
+		return err
+	}
+
+	truth := tb.TrueFingerprints(at)
+	known := tb.KnownMask()
+	var errFresh, errStale float64
+	var cnt int
+	for i := range truth {
+		for j := range truth[i] {
+			if known[i][j] {
+				continue
+			}
+			errFresh += math.Abs(fresh[i][j] - truth[i][j])
+			errStale += math.Abs(original[i][j] - truth[i][j])
+			cnt++
+		}
+	}
+	fmt.Printf("update after %d days in %s\n", *days, env.Name())
+	fmt.Printf("reference locations (%d): %v\n", len(refs), refs)
+	fmt.Printf("labor: %s (vs %s for a full re-survey, %.1f%% saved)\n",
+		refLabor.Duration.Round(time.Second), fullLabor.Duration.Round(time.Second),
+		100*(1-refLabor.Duration.Seconds()/fullLabor.Duration.Seconds()))
+	fmt.Printf("mean error on labor-cost entries: %.2f dB reconstructed vs %.2f dB stale\n",
+		errFresh/float64(cnt), errStale/float64(cnt))
+	return nil
+}
+
+func runLocalize(args []string) error {
+	fs := flag.NewFlagSet("localize", flag.ExitOnError)
+	envName := envFlag(fs)
+	seed := fs.Uint64("seed", 1, "deployment seed")
+	days := fs.Int("days", 45, "days of drift before the update")
+	x := fs.Float64("x", 6.0, "target x (m)")
+	y := fs.Float64("y", 4.5, "target y (m)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := pickEnv(*envName)
+	if err != nil {
+		return err
+	}
+	tb := iupdater.NewTestbed(env, *seed)
+	original, _ := tb.Survey(0, 50)
+	p, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	if err != nil {
+		return err
+	}
+	at := time.Duration(*days) * 24 * time.Hour
+	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), tb.MeasureColumns(at, p.ReferenceLocations()))
+	if err != nil {
+		return err
+	}
+	loc, err := iupdater.NewLocalizer(fresh, tb.Geometry())
+	if err != nil {
+		return err
+	}
+	rss := tb.MeasureOnline(*x, *y, at+time.Hour)
+	ex, ey, err := loc.Locate(rss)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target at (%.2f, %.2f) m; online RSS: %v\n", *x, *y, compact(rss))
+	fmt.Printf("estimate: (%.2f, %.2f) m, error %.2f m\n", ex, ey, math.Hypot(ex-*x, ey-*y))
+	return nil
+}
+
+func runLabor(args []string) error {
+	fs := flag.NewFlagSet("labor", flag.ExitOnError)
+	scale := fs.Int("scale", 10, "edge-length multiplier of the deployment area")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Print(eval.LaborSavings().Render())
+	if *scale > 1 {
+		fmt.Printf("\nat %dx the edge length:\n", *scale)
+		r := eval.Fig20LaborScaling()
+		for _, pt := range r.Points {
+			if pt.Scale == *scale {
+				fmt.Printf("traditional: %.1f h, iUpdater: %.2f h\n",
+					pt.TraditionalHours, pt.IUpdaterHours)
+			}
+		}
+	}
+	return nil
+}
+
+func compact(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Round(x*10) / 10
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package iupdater is a Go implementation of iUpdater, the low-cost RSS
+// fingerprint updating system for device-free indoor localization from
+//
+//	Chang, Xiong, Wang, Chen, Hu, Fang.
+//	"iUpdater: Low Cost RSS Fingerprints Updating for Device-Free
+//	Localization." IEEE ICDCS 2017.
+//
+// Device-free localization tracks a person who carries no device, by the
+// way their body perturbs the received signal strength (RSS) of wireless
+// links crossing a monitored area. Fingerprint approaches record an RSS
+// signature per grid location, but the database goes stale within days as
+// the environment drifts, and re-surveying the whole grid is prohibitively
+// labor intensive.
+//
+// iUpdater refreshes the entire M-link x N-location fingerprint matrix
+// from fresh measurements at only r = M reference locations:
+//
+//   - the no-decrease entries (target outside a link's sensitive zone) are
+//     measured with zero labor, without the target;
+//   - the reference locations are the maximum independent columns (MIC) of
+//     the previous matrix, tied to all other columns by a low-rank
+//     representation (LRR) correlation matrix;
+//   - a self-augmented regularized SVD completes the matrix under two
+//     structural constraints: RSS continuity between neighboring locations
+//     and similarity between adjacent links.
+//
+// # Public API
+//
+// The Pipeline type implements the update algorithm on caller-provided
+// data; the Localizer type implements the paper's OMP-based target
+// localization. The Testbed type provides the full simulated deployment
+// (radio propagation, human target, drift, survey campaigns) used by the
+// examples and by the experiment reproduction in internal/eval.
+//
+// A minimal session:
+//
+//	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+//	original, _ := tb.Survey(0, 50)
+//	p, _ := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+//	// ... 45 days later ...
+//	t45 := 45 * 24 * time.Hour
+//	fresh, _ := p.Update(
+//	    tb.NoDecreaseScan(t45), tb.KnownMask(),
+//	    tb.MeasureColumns(t45, p.ReferenceLocations()))
+//	loc, _ := iupdater.NewLocalizer(fresh, tb.Geometry())
+//	x, y, _ := loc.Locate(tb.MeasureOnline(6.0, 4.5, t45))
+package iupdater

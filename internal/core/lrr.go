@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iupdater/internal/mat"
+)
+
+// LRRConfig tunes the inexact augmented-Lagrange-multiplier solver for the
+// low-rank representation problem of Eqn 12:
+//
+//	min_{Z,E} ||Z||_* + eps*||E||_{2,1}   s.t.  X = X_MIC * Z + E
+type LRRConfig struct {
+	// Epsilon weighs the corruption term (the paper's ε).
+	Epsilon float64
+	// MaxIter bounds the ALM iterations.
+	MaxIter int
+	// Tol is the convergence tolerance on the constraint residuals,
+	// relative to ||X||_F.
+	Tol float64
+	// Mu0 is the initial penalty parameter; Rho its growth factor;
+	// MuMax its cap.
+	Mu0, Rho, MuMax float64
+}
+
+// DefaultLRRConfig returns the solver settings used throughout the
+// reproduction (standard inexact-ALM constants from Liu-Lin-Yu).
+func DefaultLRRConfig() LRRConfig {
+	return LRRConfig{
+		Epsilon: 2.0,
+		MaxIter: 500,
+		Tol:     1e-7,
+		Mu0:     1e-4,
+		Rho:     1.2,
+		MuMax:   1e10,
+	}
+}
+
+// LRRResult holds the correlation matrix Z and the column-sparse
+// corruption E recovered by LRR, with X ≈ X_MIC*Z + E.
+type LRRResult struct {
+	Z          *mat.Dense
+	E          *mat.Dense
+	Iterations int
+	// Residual is ||X - X_MIC*Z - E||_F / ||X||_F at termination.
+	Residual float64
+}
+
+// LRR solves Eqn 12 by inexact ALM, returning the inherent correlation
+// matrix Z between the MIC reference columns and the whole fingerprint
+// matrix. Z is the quantity the Inherent Correlation Acquisition module
+// of Fig 10 stores for future updates: a fresh reference matrix X_R then
+// predicts the whole fresh fingerprint matrix as X_R*Z.
+func LRR(x, xmic *mat.Dense, cfg LRRConfig) (*LRRResult, error) {
+	m, n := x.Dims()
+	mm, r := xmic.Dims()
+	if mm != m {
+		return nil, fmt.Errorf("core: LRR row mismatch: X is %dx%d, X_MIC is %dx%d", m, n, mm, r)
+	}
+	if cfg.Epsilon <= 0 || cfg.MaxIter <= 0 {
+		return nil, errors.New("core: LRR requires positive Epsilon and MaxIter")
+	}
+
+	normX := mat.FrobeniusNorm(x)
+	if normX == 0 {
+		return &LRRResult{Z: mat.New(r, n), E: mat.New(m, n)}, nil
+	}
+
+	// Precompute the Cholesky factor of (I + AᵀA) for the Z update.
+	ata := mat.MulTA(xmic, xmic)
+	reg := mat.AddM(ata, mat.Identity(r))
+	chol, err := mat.FactorCholesky(reg)
+	if err != nil {
+		return nil, fmt.Errorf("core: LRR normal equations not SPD: %w", err)
+	}
+
+	z := mat.New(r, n)
+	j := mat.New(r, n)
+	e := mat.New(m, n)
+	y1 := mat.New(m, n) // multiplier for X = AZ + E
+	y2 := mat.New(r, n) // multiplier for Z = J
+	mu := cfg.Mu0
+
+	var res1, res2 float64
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		// J update: SVT of Z + Y2/mu at threshold 1/mu.
+		j = mat.SVT(mat.AddM(z, mat.Scale(1/mu, y2)), 1/mu)
+
+		// Z update: (I + AᵀA)⁻¹ (Aᵀ(X-E) + J + (AᵀY1 - Y2)/mu).
+		rhs := mat.AddM(
+			mat.AddM(mat.MulTA(xmic, mat.SubM(x, e)), j),
+			mat.Scale(1/mu, mat.SubM(mat.MulTA(xmic, y1), y2)),
+		)
+		z = chol.Solve(rhs)
+
+		// E update: column-wise shrinkage at eps/mu.
+		az := mat.Mul(xmic, z)
+		e = mat.ShrinkColumns21(
+			mat.AddM(mat.SubM(x, az), mat.Scale(1/mu, y1)),
+			cfg.Epsilon/mu,
+		)
+
+		// Multiplier and penalty updates.
+		r1 := mat.SubM(mat.SubM(x, az), e) // X - AZ - E
+		r2 := mat.SubM(z, j)               // Z - J
+		y1 = mat.AddM(y1, mat.Scale(mu, r1))
+		y2 = mat.AddM(y2, mat.Scale(mu, r2))
+		mu = math.Min(mu*cfg.Rho, cfg.MuMax)
+
+		res1 = mat.FrobeniusNorm(r1) / normX
+		res2 = mat.FrobeniusNorm(r2) / normX
+		if res1 < cfg.Tol && res2 < cfg.Tol {
+			iter++
+			break
+		}
+	}
+	return &LRRResult{Z: z, E: e, Iterations: iter, Residual: res1}, nil
+}

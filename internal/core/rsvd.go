@@ -1,0 +1,24 @@
+package core
+
+import "iupdater/internal/mat"
+
+// BasicRSVD solves the plain regularized-SVD completion of Eqn 11:
+//
+//	min λ(||L||²F + ||R||²F) + ||B∘(LRᵀ) - XB||²F
+//
+// without either constraint. As §IV-B observes, this problem does not
+// have a unique solution over the unknown entries — which is exactly why
+// iUpdater adds the reference-correlation constraint. Exposed separately
+// for the Fig 16 ablation.
+func BasicRSVD(xb, b *mat.Dense, links, perStrip int, opts ...Option) (*Result, error) {
+	all := make([]Option, 0, len(opts)+2)
+	all = append(all, opts...)
+	all = append(all, WithConstraint1(false), WithConstraint2(false))
+	rc := NewReconstructor(all...)
+	return rc.Reconstruct(Input{
+		XB:       xb,
+		B:        b,
+		Links:    links,
+		PerStrip: perStrip,
+	})
+}

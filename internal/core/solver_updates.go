@@ -1,0 +1,233 @@
+package core
+
+import "iupdater/internal/mat"
+
+// updateR performs one sweep of per-column closed-form solves for
+// Θ = R̂ᵀ (Algorithm 1 line 3 / Eqn 24), holding L fixed. Columns are
+// solved in place, so later columns see earlier updates (Gauss-Seidel);
+// with VariantPaper the coupling constants are zero and the sweep matches
+// the paper's Jacobi-style closed form exactly.
+func (st *solverState) updateR() {
+	var ltl *mat.Dense
+	if st.p != nil {
+		ltl = mat.MulTA(st.l, st.l) // Q3 of Algorithm 1
+	}
+	li := make([]float64, st.r)
+
+	for j := 0; j < st.n; j++ {
+		ii := j / st.k // owner link of column j
+		jj := j % st.k // position along the strip
+
+		a := mat.Scale(st.o.lambda, mat.Identity(st.r)) // Q1
+		rhs := make([]float64, st.r)
+
+		// Data term: Q2 = (Diag(B(:,j))L)ᵀ(Diag(B(:,j))L),
+		// C2 = (Diag(B(:,j))L)ᵀ XB(:,j).
+		for i := 0; i < st.m; i++ {
+			if st.in.B.At(i, j) != 1 {
+				continue
+			}
+			for c := 0; c < st.r; c++ {
+				li[c] = st.l.At(i, c)
+			}
+			addScaledOuter(a, st.wData, li)
+			xb := st.in.XB.At(i, j)
+			for c := 0; c < st.r; c++ {
+				rhs[c] += st.wData * xb * li[c]
+			}
+		}
+
+		// Constraint 1: Q3 = LᵀL, C3 = Lᵀ P(:,j).
+		if st.p != nil {
+			for c := 0; c < st.r; c++ {
+				for d := 0; d < st.r; d++ {
+					a.Add(c, d, st.wC1*ltl.At(c, d))
+				}
+			}
+			for i := 0; i < st.m; i++ {
+				pij := st.p.At(i, j)
+				if pij == 0 {
+					continue
+				}
+				for c := 0; c < st.r; c++ {
+					rhs[c] += st.wC1 * pij * st.l.At(i, c)
+				}
+			}
+		}
+
+		// Constraint 2: Q4/Q5 quadratic terms on the owner link's row of
+		// L; couplings on the RHS for the Gauss-Seidel variant.
+		if st.o.useC2 {
+			for c := 0; c < st.r; c++ {
+				li[c] = st.l.At(ii, c)
+			}
+			gw := st.ggt.At(jj, jj)
+			hw := st.hth.At(ii, ii)
+			addScaledOuter(a, st.wC2G*gw+st.wC2H*hw, li)
+
+			if st.o.variant == VariantGaussSeidel {
+				// C4: continuity coupling along the strip.
+				var crossG float64
+				for q := 0; q < st.k; q++ {
+					if q == jj {
+						continue
+					}
+					if w := st.ggt.At(q, jj); w != 0 {
+						crossG += w * st.entry(ii, ii*st.k+q)
+					}
+				}
+				// C5: similarity coupling across links, with hardware
+				// offsets calibrated out.
+				crossH := -hw * st.offsets[ii]
+				for mIdx := 0; mIdx < st.m; mIdx++ {
+					if mIdx == ii {
+						continue
+					}
+					if w := st.hth.At(ii, mIdx); w != 0 {
+						crossH += w * (st.entry(mIdx, mIdx*st.k+jj) - st.offsets[mIdx])
+					}
+				}
+				for c := 0; c < st.r; c++ {
+					rhs[c] -= (st.wC2G*crossG + st.wC2H*crossH) * li[c]
+				}
+			}
+		}
+
+		st.solveInto(a, rhs, st.rm, j)
+	}
+}
+
+// updateL performs one sweep of per-row closed-form solves for L̂
+// (Algorithm 1 line 4), holding R fixed.
+func (st *solverState) updateL() {
+	var rtr *mat.Dense
+	if st.p != nil {
+		rtr = mat.MulTA(st.rm, st.rm)
+	}
+	theta := make([]float64, st.r)
+
+	for i := 0; i < st.m; i++ {
+		a := mat.Scale(st.o.lambda, mat.Identity(st.r))
+		rhs := make([]float64, st.r)
+
+		// Data term over known entries of row i.
+		for j := 0; j < st.n; j++ {
+			if st.in.B.At(i, j) != 1 {
+				continue
+			}
+			for c := 0; c < st.r; c++ {
+				theta[c] = st.rm.At(j, c)
+			}
+			addScaledOuter(a, st.wData, theta)
+			xb := st.in.XB.At(i, j)
+			for c := 0; c < st.r; c++ {
+				rhs[c] += st.wData * xb * theta[c]
+			}
+		}
+
+		// Constraint 1.
+		if st.p != nil {
+			for c := 0; c < st.r; c++ {
+				for d := 0; d < st.r; d++ {
+					a.Add(c, d, st.wC1*rtr.At(c, d))
+				}
+			}
+			for j := 0; j < st.n; j++ {
+				pij := st.p.At(i, j)
+				if pij == 0 {
+					continue
+				}
+				for c := 0; c < st.r; c++ {
+					rhs[c] += st.wC1 * pij * st.rm.At(j, c)
+				}
+			}
+		}
+
+		// Constraint 2 on strip i: Θ_i is the r x K block of R-rows
+		// belonging to link i's strip.
+		if st.o.useC2 {
+			switch st.o.variant {
+			case VariantGaussSeidel:
+				// Exact continuity quadratic: (Θ_i G)(Θ_i G)ᵀ.
+				w := mat.New(st.r, st.k)
+				for c := 0; c < st.r; c++ {
+					for q := 0; q < st.k; q++ {
+						var s float64
+						for u := 0; u < st.k; u++ {
+							if g := st.g.At(u, q); g != 0 {
+								s += st.rm.At(i*st.k+u, c) * g
+							}
+						}
+						w.Set(c, q, s)
+					}
+				}
+				wwt := mat.MulTB(w, w)
+				for c := 0; c < st.r; c++ {
+					for d := 0; d < st.r; d++ {
+						a.Add(c, d, st.wC2G*wwt.At(c, d))
+					}
+				}
+				// Similarity: quadratic hth(i,i)·Θ_iΘ_iᵀ plus RHS
+				// coupling to the other links' calibrated rows.
+				hw := st.hth.At(i, i)
+				for u := 0; u < st.k; u++ {
+					for c := 0; c < st.r; c++ {
+						theta[c] = st.rm.At(i*st.k+u, c)
+					}
+					addScaledOuter(a, st.wC2H*hw, theta)
+					cross := -hw * st.offsets[i]
+					for mIdx := 0; mIdx < st.m; mIdx++ {
+						if mIdx == i {
+							continue
+						}
+						if wgt := st.hth.At(i, mIdx); wgt != 0 {
+							cross += wgt * (st.entry(mIdx, mIdx*st.k+u) - st.offsets[mIdx])
+						}
+					}
+					for c := 0; c < st.r; c++ {
+						rhs[c] -= st.wC2H * cross * theta[c]
+					}
+				}
+			case VariantPaper:
+				// Diagonal-only quadratic terms, zero couplings — the
+				// transposed MyInverse call of Algorithm 1 line 4.
+				hw := st.hth.At(i, i)
+				for u := 0; u < st.k; u++ {
+					for c := 0; c < st.r; c++ {
+						theta[c] = st.rm.At(i*st.k+u, c)
+					}
+					addScaledOuter(a, st.wC2G*st.ggt.At(u, u)+st.wC2H*hw, theta)
+				}
+			}
+		}
+
+		st.solveInto(a, rhs, st.l, i)
+	}
+}
+
+// solveInto solves a*x = rhs and writes x into row `row` of dst, leaving
+// the row unchanged if the system is numerically singular (the ridge term
+// makes that effectively unreachable).
+func (st *solverState) solveInto(a *mat.Dense, rhs []float64, dst *mat.Dense, row int) {
+	x, err := mat.SolveSPD(a, rhs)
+	if err != nil {
+		return
+	}
+	dst.SetRow(row, x)
+}
+
+// addScaledOuter adds w * v vᵀ to a in place.
+func addScaledOuter(a *mat.Dense, w float64, v []float64) {
+	if w == 0 {
+		return
+	}
+	for c := range v {
+		if v[c] == 0 {
+			continue
+		}
+		wc := w * v[c]
+		for d := range v {
+			a.Add(c, d, wc*v[d])
+		}
+	}
+}

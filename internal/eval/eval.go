@@ -1,0 +1,141 @@
+// Package eval contains one experiment driver per table and figure of the
+// paper's evaluation (Section VI), all running against the simulated
+// testbed. Each driver returns plain data that cmd/figgen renders, the
+// benchmarks time, and EXPERIMENTS.md records.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Protocol constants shared by every experiment, mirroring §VI-A.
+const (
+	// OnlineSamples is the number of RSS readings averaged per online
+	// localization attempt.
+	OnlineSamples = 5
+	// StandingJitterM is how far a test subject may stand from the marked
+	// test location (uniform in each axis).
+	StandingJitterM = 0.2
+	// TargetsPerRun is the number of online localization attempts per
+	// scenario run.
+	TargetsPerRun = 50
+)
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// CDF summarizes an empirical distribution.
+type CDF struct {
+	Name   string
+	Sorted []float64
+}
+
+// NewCDF copies and sorts values into a CDF.
+func NewCDF(name string, values []float64) CDF {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return CDF{Name: name, Sorted: s}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the distribution.
+func (c CDF) Percentile(p float64) float64 {
+	if len(c.Sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.Sorted[0]
+	}
+	if p >= 1 {
+		return c.Sorted[len(c.Sorted)-1]
+	}
+	idx := p * float64(len(c.Sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c.Sorted) {
+		return c.Sorted[lo]
+	}
+	return c.Sorted[lo]*(1-frac) + c.Sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (c CDF) Median() float64 { return c.Percentile(0.5) }
+
+// Mean returns the mean of the distribution.
+func (c CDF) Mean() float64 {
+	if len(c.Sorted) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.Sorted {
+		s += v
+	}
+	return s / float64(len(c.Sorted))
+}
+
+// FractionBelow returns the empirical CDF value at x.
+func (c CDF) FractionBelow(x float64) float64 {
+	n := sort.SearchFloat64s(c.Sorted, x)
+	return float64(n) / float64(len(c.Sorted))
+}
+
+// Mean returns the arithmetic mean of values.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }

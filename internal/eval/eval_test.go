@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF("x", []float64{3, 1, 2, 4, 5})
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := c.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := c.Percentile(1); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := c.FractionBelow(3.5); got != 0.6 {
+		t.Errorf("FractionBelow(3.5) = %v, want 0.6", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF("empty", nil)
+	if !math.IsNaN(c.Median()) || !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF should return NaN")
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{2, 1}
+	c := NewCDF("x", in)
+	if in[0] != 2 {
+		t.Error("NewCDF sorted the caller's slice")
+	}
+	if c.Sorted[0] != 1 {
+		t.Error("CDF not sorted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("table render too short: %q", s)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestDefaultSeeds(t *testing.T) {
+	s := DefaultSeeds(4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Error("duplicate seed")
+		}
+		seen[v] = true
+	}
+	if len(DefaultSeeds(0)) != 3 {
+		t.Error("default seed count should be 3")
+	}
+}

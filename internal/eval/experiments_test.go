@@ -1,0 +1,319 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"iupdater/internal/testbed"
+)
+
+// The experiment-driver tests assert the paper's qualitative claims (the
+// "shape" of each figure) on small seed sets so the suite stays fast.
+
+func seeds1() []uint64 { return []uint64{3} }
+
+func TestFig01Shape(t *testing.T) {
+	r := Fig01ShortTermVariation(testbed.Office(), 11)
+	if r.SwingDB < 2 || r.SwingDB > 10 {
+		t.Errorf("swing = %.1f dB, want ~5", r.SwingDB)
+	}
+	if len(r.RSS) != 200 {
+		t.Errorf("trace length = %d", len(r.RSS))
+	}
+	if !strings.Contains(r.Render(), "peak-to-peak") {
+		t.Error("render missing swing")
+	}
+}
+
+func TestFig02Shape(t *testing.T) {
+	r := Fig02LongTermShift(testbed.Office(), 7)
+	if r.Shift45DB <= r.Shift5DB {
+		t.Errorf("shift not growing: %.1f @5d vs %.1f @45d", r.Shift5DB, r.Shift45DB)
+	}
+	if r.Shift5DB < 0.5 || r.Shift5DB > 5 {
+		t.Errorf("5-day shift %.1f dB implausible", r.Shift5DB)
+	}
+	if r.Shift45DB < 3 || r.Shift45DB > 10 {
+		t.Errorf("45-day shift %.1f dB implausible", r.Shift45DB)
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	r := Fig05SingularValues(testbed.Office(), 3)
+	if len(r.Profiles) != 6 {
+		t.Fatalf("%d profiles", len(r.Profiles))
+	}
+	for k, p := range r.Profiles {
+		if p[0] != 1 {
+			t.Errorf("profile %d not normalized", k)
+		}
+		// Approximately low rank: the leading value dominates but the
+		// others carry visible residual energy (r = M, not r << M).
+		if p[1] > 0.6 {
+			t.Errorf("second singular value %.2f too large", p[1])
+		}
+		if p[len(p)-1] <= 0 {
+			t.Errorf("smallest singular value vanished (exactly low rank)")
+		}
+	}
+	if r.LeadingShare < 0.5 {
+		t.Errorf("leading share %.2f, want dominant", r.LeadingShare)
+	}
+}
+
+func TestFig06Shape(t *testing.T) {
+	r := Fig06DifferenceStability(testbed.Office(), 13)
+	if r.NeighborDiffStd >= r.RawStd {
+		t.Errorf("neighbor diff std %.2f not below raw %.2f", r.NeighborDiffStd, r.RawStd)
+	}
+	if r.AdjacentLinkDiffStd >= r.RawStd {
+		t.Errorf("adjacent-link diff std %.2f not below raw %.2f", r.AdjacentLinkDiffStd, r.RawStd)
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	r := Fig08NLCCDF(testbed.Office(), 3)
+	if r.FractionBelow02 < 0.75 {
+		t.Errorf("NLC fraction below 0.2 = %.2f, want high (paper >0.9)", r.FractionBelow02)
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	r := Fig09ALSCDF(testbed.Office(), 3)
+	if r.FractionBelow04 < 0.6 {
+		t.Errorf("ALS fraction below 0.4 = %.2f, want high (paper >0.8)", r.FractionBelow04)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r, err := Fig14ReferenceCount(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CDFs) != 4 {
+		t.Fatalf("%d arms", len(r.CDFs))
+	}
+	mic := r.CDFs[0].Median()
+	seven := r.CDFs[1].Median()
+	plusOne := r.CDFs[2].Median()
+	random11 := r.CDFs[3].Median()
+	if seven <= mic {
+		t.Errorf("7 refs (%.2f) should be worse than 8 MIC (%.2f)", seven, mic)
+	}
+	if plusOne > mic*1.35 {
+		t.Errorf("8+1 refs (%.2f) should be about the same as 8 MIC (%.2f)", plusOne, mic)
+	}
+	if random11 <= mic {
+		t.Errorf("11 random (%.2f) should be worse than 8 MIC (%.2f)", random11, mic)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	// Single timestamp to keep it fast: patch by running the full driver
+	// with one seed and checking the ordering at 45 days (index 3).
+	r, err := Fig16ConstraintAblation(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range r.Timestamps {
+		if !(r.RSVD[ti] > r.C1[ti]) {
+			t.Errorf("%s: RSVD (%.2f) not worse than +C1 (%.2f)", r.Timestamps[ti], r.RSVD[ti], r.C1[ti])
+		}
+		if !(r.C1[ti] > r.C1C2[ti]) {
+			t.Errorf("%s: +C1 (%.2f) not worse than +C1+C2 (%.2f)", r.Timestamps[ti], r.C1[ti], r.C1C2[ti])
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	r, err := Fig18ReconstructionCDF(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CDFs) != 5 {
+		t.Fatalf("%d CDFs", len(r.CDFs))
+	}
+	first := r.CDFs[0].Median()
+	last := r.CDFs[4].Median()
+	if last <= first*0.8 {
+		t.Errorf("reconstruction error should grow with staleness: %.2f @3d vs %.2f @3mo", first, last)
+	}
+	for k, c := range r.CDFs {
+		if m := c.Median(); m < 0.1 || m > 8 {
+			t.Errorf("median[%d] = %.2f dB implausible", k, m)
+		}
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	r := Fig20LaborScaling()
+	if len(r.Points) != 10 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.TraditionalHours < 50 {
+		t.Errorf("traditional cost at 10x = %.1f h, want ~78", last.TraditionalHours)
+	}
+	if last.IUpdaterHours > 0.5 {
+		t.Errorf("iUpdater cost at 10x = %.2f h, want near zero", last.IUpdaterHours)
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	r, err := Fig21LocalizationCDF(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := r.Groundtruth.Median()
+	iu := r.IUpdater.Median()
+	st := r.Stale.Median()
+	if !(gt <= iu && iu < st) {
+		t.Errorf("ordering violated: GT %.2f, iUpdater %.2f, stale %.2f", gt, iu, st)
+	}
+	if iu > 2.2 {
+		t.Errorf("iUpdater median %.2f m too large (paper: 1.1 m)", iu)
+	}
+	// The headline: iUpdater improves accuracy substantially over the
+	// stale database (paper: ~54%).
+	if improvement := 1 - iu/st; improvement < 0.3 {
+		t.Errorf("improvement over stale only %.0f%%", 100*improvement)
+	}
+}
+
+func TestFig23Shape(t *testing.T) {
+	// Two seeds: per-deployment drift draws make single-seed RASS
+	// comparisons noisy.
+	r, err := Fig23RASSComparison(testbed.Office(), []uint64{3, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu := r.IUpdater.Median()
+	rec := r.RASSRec.Median()
+	stale := r.RASSStale.Median()
+	if !(iu < stale && rec < stale) {
+		t.Errorf("reconstruction must help both systems: iU %.2f, RASS-rec %.2f, RASS-stale %.2f", iu, rec, stale)
+	}
+	if iu >= stale {
+		t.Errorf("iUpdater (%.2f) should beat stale RASS (%.2f)", iu, stale)
+	}
+}
+
+func TestLaborSavingsMatchesPaper(t *testing.T) {
+	r := LaborSavings()
+	if r.SavingVs50Pct < 97.5 || r.SavingVs50Pct > 98.5 {
+		t.Errorf("saving vs 50-sample = %.1f%%, paper 97.9%%", r.SavingVs50Pct)
+	}
+	if r.SavingVs5Pct < 91.5 || r.SavingVs5Pct > 92.7 {
+		t.Errorf("saving vs 5-sample = %.1f%%, paper 92.1%%", r.SavingVs5Pct)
+	}
+	if r.IUpdaterSeconds != 55 {
+		t.Errorf("iUpdater update = %.0f s, paper 55 s", r.IUpdaterSeconds)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	// Smoke-test every Render on cheap results.
+	outputs := []string{
+		Fig01ShortTermVariation(testbed.Office(), 1).Render(),
+		Fig02LongTermShift(testbed.Office(), 1).Render(),
+		Fig20LaborScaling().Render(),
+		LaborSavings().Render(),
+	}
+	for i, s := range outputs {
+		if len(s) < 20 {
+			t.Errorf("render %d too short: %q", i, s)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := Fig15ReferenceCountOverTime(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Arms) != 4 || len(r.MeanDB[0]) != 5 {
+		t.Fatalf("shape %dx%d", len(r.Arms), len(r.MeanDB[0]))
+	}
+	// The MIC arm must beat the 7-reference and 11-random arms at every
+	// update time.
+	for ti := range r.Timestamps {
+		mic := r.MeanDB[0][ti]
+		if r.MeanDB[1][ti] <= mic {
+			t.Errorf("%s: 7 refs (%.2f) not worse than MIC (%.2f)", r.Timestamps[ti], r.MeanDB[1][ti], mic)
+		}
+		if r.MeanDB[3][ti] <= mic {
+			t.Errorf("%s: 11 random (%.2f) not worse than MIC (%.2f)", r.Timestamps[ti], r.MeanDB[3][ti], mic)
+		}
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r, err := Fig17VariationRobustness(testbed.Office(), seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range r.Timestamps {
+		// Constraint 2 keeps the 80%-data database within 0.5 dB of the
+		// fully measured single-shot database...
+		if r.DBErr80C2[ti] > r.DBErrMeasured[ti]+0.5 {
+			t.Errorf("%s: 80%%+C2 db err %.2f dB vs measured %.2f dB",
+				r.Timestamps[ti], r.DBErr80C2[ti], r.DBErrMeasured[ti])
+		}
+		// ...and localization within 1 m of it at 50-80%% of the labor.
+		if r.Data80C2[ti] > r.Measured[ti]+1.0 {
+			t.Errorf("%s: 80%%+C2 loc %.2f m vs measured %.2f m",
+				r.Timestamps[ti], r.Data80C2[ti], r.Measured[ti])
+		}
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	r, err := Fig19ReconstructionEnvironments(seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Environment ordering: hall <= office <= library on the
+	// time-averaged error (the paper's Fig 19 message).
+	avg := func(v []float64) float64 { return Mean(v) }
+	hall, office, library := avg(r.MeanDB[0]), avg(r.MeanDB[1]), avg(r.MeanDB[2])
+	if !(hall < office && office < library) {
+		t.Errorf("ordering violated: hall %.2f, office %.2f, library %.2f", hall, office, library)
+	}
+}
+
+func TestFig22Shape(t *testing.T) {
+	r, err := Fig22LocalizationEnvironments(seeds1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, env := range r.Environments {
+		if r.ImprovementPct[e] <= 0 {
+			t.Errorf("%s: no improvement over the stale database (%.1f%%)", env, r.ImprovementPct[e])
+		}
+		for ti := range r.Timestamps {
+			if r.IUpdater[e][ti] >= r.Stale[e][ti] {
+				t.Errorf("%s/%s: iUpdater %.2f m not below stale %.2f m",
+					env, r.Timestamps[ti], r.IUpdater[e][ti], r.Stale[e][ti])
+			}
+		}
+	}
+}
+
+func TestFig24Shape(t *testing.T) {
+	r, err := Fig24RASSOverTime(testbed.Office(), []uint64{3, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction must help RASS at every time, and iUpdater must be
+	// competitive with (or beat) reconstructed RASS on average.
+	for ti := range r.Timestamps {
+		if r.RASSRec[ti] >= r.RASSStale[ti] {
+			t.Errorf("%s: RASS w/rec %.2f m not below w/o rec %.2f m",
+				r.Timestamps[ti], r.RASSRec[ti], r.RASSStale[ti])
+		}
+	}
+	if Mean(r.IUpdater) > Mean(r.RASSRec)*1.1 {
+		t.Errorf("iUpdater mean %.2f m not competitive with RASS w/rec %.2f m",
+			Mean(r.IUpdater), Mean(r.RASSRec))
+	}
+}

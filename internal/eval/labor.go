@@ -1,0 +1,40 @@
+package eval
+
+import "iupdater/internal/testbed"
+
+// Fig20Result holds the labor-scaling curves of Fig 20.
+type Fig20Result struct {
+	Points []testbed.ScalingPoint
+}
+
+// Fig20LaborScaling evaluates the update-time cost as the deployment area
+// grows from 2x to 10x the original edge length (office baseline: 94
+// locations as the paper counts, 8 links).
+func Fig20LaborScaling() Fig20Result {
+	return Fig20Result{
+		Points: testbed.LaborScaling(94, 8, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+	}
+}
+
+// LaborSavingsResult holds the §VI-C labor arithmetic.
+type LaborSavingsResult struct {
+	TraditionalSeconds50 float64 // 94 locations, 50 samples each
+	TraditionalSeconds5  float64 // 94 locations, 5 samples each
+	IUpdaterSeconds      float64 // 8 reference locations, 5 samples each
+	SavingVs50Pct        float64 // paper: 97.9%
+	SavingVs5Pct         float64 // paper: 92.1%
+}
+
+// LaborSavings reproduces the §VI-C cost computation.
+func LaborSavings() LaborSavingsResult {
+	t50 := testbed.TraditionalUpdateSeconds(94, testbed.TraditionalSamples)
+	t5 := testbed.TraditionalUpdateSeconds(94, testbed.IUpdaterSamples)
+	ours := testbed.IUpdaterUpdateSeconds(8, testbed.IUpdaterSamples)
+	return LaborSavingsResult{
+		TraditionalSeconds50: t50,
+		TraditionalSeconds5:  t5,
+		IUpdaterSeconds:      ours,
+		SavingVs50Pct:        100 * testbed.SavingFraction(t50, ours),
+		SavingVs5Pct:         100 * testbed.SavingFraction(t5, ours),
+	}
+}

@@ -1,0 +1,349 @@
+package eval
+
+import (
+	"math/rand"
+
+	"iupdater/internal/core"
+	"iupdater/internal/loc"
+	"iupdater/internal/mat"
+	"iupdater/internal/testbed"
+)
+
+// ompFor builds the standard continuous-output OMP localizer used by all
+// localization experiments.
+func (sc *Scenario) ompFor(x *mat.Dense) *loc.OMPPoint {
+	return loc.NewOMPPoint(x, sc.Surveyor.Channel.Grid(), loc.OMPConfig{})
+}
+
+// Fig17Result compares partially-measured reconstructions (with
+// Constraint 2 denoising) against the fully measured matrix (Fig 17,
+// Claim 3).
+type Fig17Result struct {
+	Timestamps []string
+	// Mean localization errors (m) per update time.
+	Data80C2, Data50C2, Measured []float64
+	// Mean database errors versus the noise-free truth (dB): the
+	// denoising effect of Constraint 2 on the single-shot measurements.
+	DBErr80C2, DBErr50C2, DBErrMeasured []float64
+}
+
+// Fig17VariationRobustness reconstructs from random 50% / 80% known
+// entries with Constraint 2 and compares localization against the 100%
+// measured matrix collected with the same per-location sampling.
+func Fig17VariationRobustness(env testbed.Environment, seeds []uint64) (Fig17Result, error) {
+	times := testbed.UpdateTimestamps()
+	res := Fig17Result{
+		Timestamps:    testbed.UpdateTimestampLabels(),
+		Data80C2:      make([]float64, len(times)),
+		Data50C2:      make([]float64, len(times)),
+		Measured:      make([]float64, len(times)),
+		DBErr80C2:     make([]float64, len(times)),
+		DBErr50C2:     make([]float64, len(times)),
+		DBErrMeasured: make([]float64, len(times)),
+	}
+	for ti, tU := range times {
+		var e80, e50, eM []float64
+		var db80, db50, dbM []float64
+		for _, seed := range seeds {
+			sc, err := NewScenario(env, seed)
+			if err != nil {
+				return Fig17Result{}, err
+			}
+			// Single-shot survey: Claim 3 is about robustness to
+			// short-term RSS variation, so the arms are fed raw
+			// single-reading measurements and Constraint 2 must do the
+			// denoising that sample averaging would otherwise do.
+			measured, _ := sc.Surveyor.FullSurvey(tU, 1)
+			truth := sc.Surveyor.TrueFingerprint(tU)
+			rng := rand.New(rand.NewSource(int64(seed) + 1700))
+
+			for _, arm := range []struct {
+				frac float64
+				dst  *[]float64
+				db   *[]float64
+			}{{0.8, &e80, &db80}, {0.5, &e50, &db50}} {
+				recon, err := reconstructFromFraction(sc, measured.X, arm.frac, rng)
+				if err != nil {
+					return Fig17Result{}, err
+				}
+				errs, err := sc.LocalizationErrors(sc.ompFor(recon), tU+3600, int64(seed))
+				if err != nil {
+					return Fig17Result{}, err
+				}
+				*arm.dst = append(*arm.dst, errs...)
+				*arm.db = append(*arm.db, meanAbsDB(recon, truth.X))
+			}
+			errs, err := sc.LocalizationErrors(sc.ompFor(measured.X), tU+3600, int64(seed))
+			if err != nil {
+				return Fig17Result{}, err
+			}
+			eM = append(eM, errs...)
+			dbM = append(dbM, meanAbsDB(measured.X, truth.X))
+		}
+		res.Data80C2[ti] = Mean(e80)
+		res.Data50C2[ti] = Mean(e50)
+		res.Measured[ti] = Mean(eM)
+		res.DBErr80C2[ti] = Mean(db80)
+		res.DBErr50C2[ti] = Mean(db50)
+		res.DBErrMeasured[ti] = Mean(dbM)
+	}
+	return res, nil
+}
+
+// meanAbsDB returns the mean |a-b| over all entries.
+func meanAbsDB(a, b *mat.Dense) float64 {
+	d := mat.SubM(a, b)
+	var sum float64
+	for _, v := range d.RawData() {
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	r, c := d.Dims()
+	return sum / float64(r*c)
+}
+
+// reconstructFromFraction keeps a random fraction of the measured entries
+// and reconstructs the rest with the Constraint-2-regularized solver.
+func reconstructFromFraction(sc *Scenario, measured *mat.Dense, frac float64, rng *rand.Rand) (*mat.Dense, error) {
+	m, n := measured.Dims()
+	b := mat.New(m, n)
+	xb := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < frac {
+				b.Set(i, j, 1)
+				xb.Set(i, j, measured.At(i, j))
+			}
+		}
+	}
+	rc := core.NewReconstructor(
+		core.WithWarmStart(true),
+		core.WithConstraint1(false),
+		core.WithConstraint2(true),
+	)
+	res, err := rc.Reconstruct(core.Input{
+		XB: xb, B: b,
+		Links: sc.Original.Links, PerStrip: sc.Original.PerStrip,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
+}
+
+// LocalizationArms holds the three headline arms of Figs 21 and 22.
+type LocalizationArms struct {
+	// Groundtruth uses a fresh full 50-sample survey at the update time.
+	Groundtruth []float64
+	// IUpdater uses the reconstructed matrix.
+	IUpdater []float64
+	// Stale uses the original (t=0) matrix without reconstruction
+	// ("OMP w/o rec.").
+	Stale []float64
+}
+
+// localizationArms runs the three arms for one scenario at time tU.
+func localizationArms(sc *Scenario, tU float64, seed uint64) (LocalizationArms, error) {
+	var out LocalizationArms
+	gt, _ := sc.Surveyor.FullSurvey(tU, testbed.TraditionalSamples)
+	_, rec, err := sc.Update(tU)
+	if err != nil {
+		return out, err
+	}
+	tOnline := tU + 3600
+	for _, arm := range []struct {
+		x   *mat.Dense
+		dst *[]float64
+	}{
+		{gt.X, &out.Groundtruth},
+		{rec.X, &out.IUpdater},
+		{sc.Original.X, &out.Stale},
+	} {
+		errs, err := sc.LocalizationErrors(sc.ompFor(arm.x), tOnline, int64(seed))
+		if err != nil {
+			return out, err
+		}
+		*arm.dst = errs
+	}
+	return out, nil
+}
+
+// Fig21Result holds the localization-error CDFs at 45 days (Fig 21).
+type Fig21Result struct {
+	Groundtruth, IUpdater, Stale CDF
+}
+
+// Fig21LocalizationCDF runs the three arms in one environment at 45 days.
+func Fig21LocalizationCDF(env testbed.Environment, seeds []uint64) (Fig21Result, error) {
+	const tU = 45 * testbed.Day
+	var gt, iu, st []float64
+	for _, seed := range seeds {
+		sc, err := NewScenario(env, seed)
+		if err != nil {
+			return Fig21Result{}, err
+		}
+		arms, err := localizationArms(sc, tU, seed)
+		if err != nil {
+			return Fig21Result{}, err
+		}
+		gt = append(gt, arms.Groundtruth...)
+		iu = append(iu, arms.IUpdater...)
+		st = append(st, arms.Stale...)
+	}
+	return Fig21Result{
+		Groundtruth: NewCDF("Groundtruth", gt),
+		IUpdater:    NewCDF("iUpdater", iu),
+		Stale:       NewCDF("OMP w/o rec.", st),
+	}, nil
+}
+
+// Fig22Result holds mean localization errors for every environment,
+// update time and arm (Fig 22).
+type Fig22Result struct {
+	Environments []string
+	Timestamps   []string
+	// MeanM[e][t] per arm, in meters.
+	Groundtruth, IUpdater, Stale [][]float64
+	// ImprovementPct[e] is iUpdater's accuracy improvement over the stale
+	// matrix per environment, averaged over times (the paper reports
+	// 66.7%, 57.4% and 55.1% for hall, office and library).
+	ImprovementPct []float64
+}
+
+// Fig22LocalizationEnvironments sweeps environments and update times.
+func Fig22LocalizationEnvironments(seeds []uint64) (Fig22Result, error) {
+	envs := testbed.Environments()
+	times := testbed.UpdateTimestamps()
+	res := Fig22Result{Timestamps: testbed.UpdateTimestampLabels()}
+	res.Groundtruth = make([][]float64, len(envs))
+	res.IUpdater = make([][]float64, len(envs))
+	res.Stale = make([][]float64, len(envs))
+	res.ImprovementPct = make([]float64, len(envs))
+	for e, env := range envs {
+		res.Environments = append(res.Environments, env.Name)
+		res.Groundtruth[e] = make([]float64, len(times))
+		res.IUpdater[e] = make([]float64, len(times))
+		res.Stale[e] = make([]float64, len(times))
+		var improveSum float64
+		for ti, tU := range times {
+			var gt, iu, st []float64
+			for _, seed := range seeds {
+				sc, err := NewScenario(env, seed)
+				if err != nil {
+					return Fig22Result{}, err
+				}
+				arms, err := localizationArms(sc, tU, seed)
+				if err != nil {
+					return Fig22Result{}, err
+				}
+				gt = append(gt, arms.Groundtruth...)
+				iu = append(iu, arms.IUpdater...)
+				st = append(st, arms.Stale...)
+			}
+			res.Groundtruth[e][ti] = Mean(gt)
+			res.IUpdater[e][ti] = Mean(iu)
+			res.Stale[e][ti] = Mean(st)
+			improveSum += 1 - res.IUpdater[e][ti]/res.Stale[e][ti]
+		}
+		res.ImprovementPct[e] = 100 * improveSum / float64(len(times))
+	}
+	return res, nil
+}
+
+// Fig23Result compares iUpdater with RASS at 45 days (Fig 23).
+type Fig23Result struct {
+	IUpdater, RASSRec, RASSStale CDF
+}
+
+// Fig23RASSComparison runs iUpdater and the two RASS arms at 45 days.
+func Fig23RASSComparison(env testbed.Environment, seeds []uint64) (Fig23Result, error) {
+	const tU = 45 * testbed.Day
+	var iu, rr, rs []float64
+	for _, seed := range seeds {
+		sc, err := NewScenario(env, seed)
+		if err != nil {
+			return Fig23Result{}, err
+		}
+		a, b, c, err := rassArms(sc, tU, seed)
+		if err != nil {
+			return Fig23Result{}, err
+		}
+		iu = append(iu, a...)
+		rr = append(rr, b...)
+		rs = append(rs, c...)
+	}
+	return Fig23Result{
+		IUpdater:  NewCDF("iUpdater", iu),
+		RASSRec:   NewCDF("RASS w/ rec.", rr),
+		RASSStale: NewCDF("RASS w/o rec.", rs),
+	}, nil
+}
+
+// rassArms runs iUpdater plus RASS with/without the reconstructed matrix.
+func rassArms(sc *Scenario, tU float64, seed uint64) (iu, rassRec, rassStale []float64, err error) {
+	_, rec, err := sc.Update(tU)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tOnline := tU + 3600
+	iu, err = sc.LocalizationErrors(sc.ompFor(rec.X), tOnline, int64(seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g := sc.Surveyor.Channel.Grid()
+	for _, arm := range []struct {
+		x   *mat.Dense
+		dst *[]float64
+	}{{rec.X, &rassRec}, {sc.Original.X, &rassStale}} {
+		r, rerr := loc.NewRASS(arm.x, g, loc.DefaultSVRConfig())
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		errs, rerr := sc.LocalizationErrors(r, tOnline, int64(seed))
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		*arm.dst = errs
+	}
+	return iu, rassRec, rassStale, nil
+}
+
+// Fig24Result holds mean errors over time for the RASS comparison
+// (Fig 24).
+type Fig24Result struct {
+	Timestamps                   []string
+	IUpdater, RASSRec, RASSStale []float64
+}
+
+// Fig24RASSOverTime sweeps the RASS comparison over the update times.
+func Fig24RASSOverTime(env testbed.Environment, seeds []uint64) (Fig24Result, error) {
+	times := testbed.UpdateTimestamps()
+	res := Fig24Result{
+		Timestamps: testbed.UpdateTimestampLabels(),
+		IUpdater:   make([]float64, len(times)),
+		RASSRec:    make([]float64, len(times)),
+		RASSStale:  make([]float64, len(times)),
+	}
+	for ti, tU := range times {
+		var iu, rr, rs []float64
+		for _, seed := range seeds {
+			sc, err := NewScenario(env, seed)
+			if err != nil {
+				return Fig24Result{}, err
+			}
+			a, b, c, err := rassArms(sc, tU, seed)
+			if err != nil {
+				return Fig24Result{}, err
+			}
+			iu = append(iu, a...)
+			rr = append(rr, b...)
+			rs = append(rs, c...)
+		}
+		res.IUpdater[ti] = Mean(iu)
+		res.RASSRec[ti] = Mean(rr)
+		res.RASSStale[ti] = Mean(rs)
+	}
+	return res, nil
+}

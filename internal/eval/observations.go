@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"math"
+
+	"iupdater/internal/fingerprint"
+	"iupdater/internal/mat"
+	"iupdater/internal/rf"
+	"iupdater/internal/testbed"
+)
+
+// Fig01Result is the short-term RSS trace of Fig 1.
+type Fig01Result struct {
+	Times []float64
+	RSS   []float64
+	// SwingDB is the peak-to-peak excursion (the paper observes ≈5 dB).
+	SwingDB float64
+}
+
+// Fig01ShortTermVariation samples one link for 100 s at the beacon rate.
+func Fig01ShortTermVariation(env testbed.Environment, seed uint64) Fig01Result {
+	s := testbed.NewSurveyor(env, seed)
+	const samples = 200
+	res := Fig01Result{
+		Times: make([]float64, samples),
+		RSS:   make([]float64, samples),
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := 0; k < samples; k++ {
+		ts := float64(k) * testbed.SampleInterval
+		v := s.Channel.Sample(0, rf.NoTarget, ts)
+		res.Times[k] = ts
+		res.RSS[k] = v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	res.SwingDB = hi - lo
+	return res
+}
+
+// Fig02Result captures the long-term RSS shift of Fig 2.
+type Fig02Result struct {
+	// Histograms of readings at the original time, 5 days and 45 days.
+	Original, After5Days, After45Days CDF
+	// Shift5DB and Shift45DB are the mean absolute shifts of the average
+	// reading (paper: ≈2.5 dB and ≈6 dB), averaged over links.
+	Shift5DB, Shift45DB float64
+}
+
+// Fig02LongTermShift measures a fixed location's readings at three survey
+// times.
+func Fig02LongTermShift(env testbed.Environment, seed uint64) Fig02Result {
+	s := testbed.NewSurveyor(env, seed)
+	collect := func(t float64) []float64 {
+		out := make([]float64, 120)
+		for k := range out {
+			out[k] = s.Channel.Sample(0, 5, t+float64(k)*testbed.SampleInterval)
+		}
+		return out
+	}
+	o := collect(0)
+	d5 := collect(5 * testbed.Day)
+	d45 := collect(45 * testbed.Day)
+
+	// Shift statistics averaged over several deployments: a single
+	// deployment's drift is dominated by one correlated draw.
+	var s5, s45 float64
+	var cnt int
+	for sub := uint64(0); sub < 10; sub++ {
+		ch := testbed.NewSurveyor(env, seed+1000*sub).Channel
+		for i := 0; i < ch.NumLinks(); i++ {
+			s5 += math.Abs(ch.Drift(i, 5*testbed.Day) - ch.Drift(i, 0))
+			s45 += math.Abs(ch.Drift(i, 45*testbed.Day) - ch.Drift(i, 0))
+			cnt++
+		}
+	}
+	return Fig02Result{
+		Original:    NewCDF("original", o),
+		After5Days:  NewCDF("5 days", d5),
+		After45Days: NewCDF("45 days", d45),
+		Shift5DB:    s5 / float64(cnt),
+		Shift45DB:   s45 / float64(cnt),
+	}
+}
+
+// Fig05Result holds the normalized singular-value profiles of Fig 5.
+type Fig05Result struct {
+	// Profiles[k] is the normalized singular-value vector of the
+	// fingerprint matrix surveyed at Timestamps()[k].
+	Labels   []string
+	Profiles [][]float64
+	// LeadingShare is the energy fraction of the largest singular value
+	// at the original time.
+	LeadingShare float64
+}
+
+// Fig05SingularValues surveys the six matrices of the three-month study
+// and decomposes each.
+func Fig05SingularValues(env testbed.Environment, seed uint64) Fig05Result {
+	s := testbed.NewSurveyor(env, seed)
+	res := Fig05Result{Labels: testbed.TimestampLabels()}
+	for _, t := range testbed.Timestamps() {
+		fp, _ := s.FullSurvey(t, testbed.TraditionalSamples)
+		sv := mat.SingularValues(fp.X)
+		norm := make([]float64, len(sv))
+		if sv[0] > 0 {
+			for i, v := range sv {
+				norm[i] = v / sv[0]
+			}
+		}
+		res.Profiles = append(res.Profiles, norm)
+	}
+	first := res.Profiles[0]
+	var total float64
+	for _, v := range first {
+		total += v
+	}
+	if total > 0 {
+		res.LeadingShare = first[0] / total
+	}
+	return res
+}
+
+// Fig06Result compares raw RSS variation with the variation of the RSS
+// differences between neighboring locations and adjacent links (Fig 6).
+type Fig06Result struct {
+	// Std deviations over a 100 s window, mean-removed.
+	RawStd, NeighborDiffStd, AdjacentLinkDiffStd float64
+	// Traces for plotting (mean-removed).
+	Times                               []float64
+	Raw, NeighborDiff, AdjacentLinkDiff []float64
+}
+
+// Fig06DifferenceStability samples fingerprint entries over time and
+// computes the three traces.
+func Fig06DifferenceStability(env testbed.Environment, seed uint64) Fig06Result {
+	s := testbed.NewSurveyor(env, seed)
+	g := s.Channel.Grid()
+	const samples = 200
+	link := g.Links / 2
+	u := g.PerStrip / 3
+	jA := g.CellIndex(link, u)
+	jB := g.CellIndex(link, u+1) // neighboring location on the same link
+	jC := g.CellIndex(link+1, u) // same relative location on the adjacent link
+	res := Fig06Result{Times: make([]float64, samples)}
+	raw := make([]float64, samples)
+	nd := make([]float64, samples)
+	ad := make([]float64, samples)
+	for k := 0; k < samples; k++ {
+		ts := float64(k) * testbed.SampleInterval
+		a := s.Channel.Sample(link, jA, ts)
+		b := s.Channel.Sample(link, jB, ts)
+		c := s.Channel.Sample(link+1, jC, ts)
+		res.Times[k] = ts
+		raw[k] = a
+		nd[k] = a - b
+		ad[k] = a - c
+	}
+	res.Raw = demean(raw)
+	res.NeighborDiff = demean(nd)
+	res.AdjacentLinkDiff = demean(ad)
+	res.RawStd = std(raw)
+	res.NeighborDiffStd = std(nd)
+	res.AdjacentLinkDiffStd = std(ad)
+	return res
+}
+
+// Fig08Result holds the NLC CDFs of Fig 8 (one per survey time).
+type Fig08Result struct {
+	Labels []string
+	CDFs   []CDF
+	// FractionBelow02 is the worst-case (over times) fraction of NLC
+	// values below 0.2; the paper reports > 90%.
+	FractionBelow02 float64
+}
+
+// Fig08NLCCDF computes the neighboring-location continuity statistics of
+// the six surveyed matrices.
+func Fig08NLCCDF(env testbed.Environment, seed uint64) Fig08Result {
+	s := testbed.NewSurveyor(env, seed)
+	res := Fig08Result{Labels: testbed.TimestampLabels(), FractionBelow02: 1}
+	for _, t := range testbed.Timestamps() {
+		fp, _ := s.FullSurvey(t, testbed.TraditionalSamples)
+		nlc := fingerprint.NLC(fp.LargeDecrease())
+		cdf := NewCDF("NLC", flatten(nlc))
+		res.CDFs = append(res.CDFs, cdf)
+		if f := cdf.FractionBelow(0.2); f < res.FractionBelow02 {
+			res.FractionBelow02 = f
+		}
+	}
+	return res
+}
+
+// Fig09Result holds the ALS CDFs of Fig 9.
+type Fig09Result struct {
+	Labels []string
+	CDFs   []CDF
+	// FractionBelow04 is the worst-case fraction of ALS values below
+	// 0.4; the paper reports > 80%.
+	FractionBelow04 float64
+}
+
+// Fig09ALSCDF computes the adjacent-link similarity statistics of the six
+// surveyed matrices.
+func Fig09ALSCDF(env testbed.Environment, seed uint64) Fig09Result {
+	s := testbed.NewSurveyor(env, seed)
+	res := Fig09Result{Labels: testbed.TimestampLabels(), FractionBelow04: 1}
+	for _, t := range testbed.Timestamps() {
+		fp, _ := s.FullSurvey(t, testbed.TraditionalSamples)
+		als := fingerprint.ALS(fp.LargeDecrease())
+		cdf := NewCDF("ALS", flatten(als))
+		res.CDFs = append(res.CDFs, cdf)
+		if f := cdf.FractionBelow(0.4); f < res.FractionBelow04 {
+			res.FractionBelow04 = f
+		}
+	}
+	return res
+}
+
+func flatten(m *mat.Dense) []float64 {
+	r, c := m.Dims()
+	out := make([]float64, 0, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out = append(out, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func demean(v []float64) []float64 {
+	m := Mean(v)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x - m
+	}
+	return out
+}
+
+func std(v []float64) float64 {
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(v)))
+}

@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iupdater/internal/core"
+	"iupdater/internal/testbed"
+)
+
+// ReferenceArm is one x-axis group of Figs 14 and 15.
+type ReferenceArm struct {
+	Name string
+	// Refs returns the reference locations to use for a scenario; nil
+	// means the pipeline's own MIC selection.
+	Refs func(sc *Scenario, rng *rand.Rand) []int
+}
+
+// StandardReferenceArms returns the paper's four arms: the 8 MIC
+// locations (iUpdater), 7 of them, 8 plus one random extra, and 11 random
+// locations.
+func StandardReferenceArms() []ReferenceArm {
+	return []ReferenceArm{
+		{Name: "8 reference (iUpdater)", Refs: func(sc *Scenario, _ *rand.Rand) []int {
+			return sc.Updater.ReferenceLocations()
+		}},
+		{Name: "7 reference", Refs: func(sc *Scenario, _ *rand.Rand) []int {
+			refs := sc.Updater.ReferenceLocations()
+			return refs[:len(refs)-1]
+		}},
+		{Name: "8 reference + 1 random", Refs: func(sc *Scenario, rng *rand.Rand) []int {
+			refs := sc.Updater.ReferenceLocations()
+			n := sc.Env.NumCells()
+			in := make(map[int]bool, len(refs))
+			for _, r := range refs {
+				in[r] = true
+			}
+			for {
+				extra := rng.Intn(n)
+				if !in[extra] {
+					out := append(append([]int{}, refs...), extra)
+					sort.Ints(out)
+					return out
+				}
+			}
+		}},
+		{Name: "11 random", Refs: func(sc *Scenario, rng *rand.Rand) []int {
+			n := sc.Env.NumCells()
+			perm := rng.Perm(n)[:11]
+			sort.Ints(perm)
+			return perm
+		}},
+	}
+}
+
+// Fig14Result holds the reconstruction-error CDFs per reference arm at 45
+// days (Fig 14).
+type Fig14Result struct {
+	CDFs []CDF
+}
+
+// Fig14ReferenceCount runs the four reference arms at 45 days.
+func Fig14ReferenceCount(env testbed.Environment, seeds []uint64) (Fig14Result, error) {
+	const tU = 45 * testbed.Day
+	arms := StandardReferenceArms()
+	errsByArm := make([][]float64, len(arms))
+	for _, seed := range seeds {
+		sc, err := NewScenario(env, seed)
+		if err != nil {
+			return Fig14Result{}, err
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		for a, arm := range arms {
+			refs := arm.Refs(sc, rng)
+			recon, err := sc.UpdateWithRefs(tU, refs)
+			if err != nil {
+				return Fig14Result{}, fmt.Errorf("eval: arm %q: %w", arm.Name, err)
+			}
+			errsByArm[a] = append(errsByArm[a], sc.ReconErrors(recon, tU)...)
+		}
+	}
+	var res Fig14Result
+	for a, arm := range arms {
+		res.CDFs = append(res.CDFs, NewCDF(arm.Name, errsByArm[a]))
+	}
+	return res, nil
+}
+
+// Fig15Result holds mean reconstruction errors per arm per timestamp
+// (Fig 15).
+type Fig15Result struct {
+	Timestamps []string
+	Arms       []string
+	// MeanDB[a][t] is the mean error of arm a at update time t.
+	MeanDB [][]float64
+}
+
+// Fig15ReferenceCountOverTime sweeps the arms over the five update times.
+func Fig15ReferenceCountOverTime(env testbed.Environment, seeds []uint64) (Fig15Result, error) {
+	arms := StandardReferenceArms()
+	times := testbed.UpdateTimestamps()
+	res := Fig15Result{Timestamps: testbed.UpdateTimestampLabels()}
+	for _, arm := range arms {
+		res.Arms = append(res.Arms, arm.Name)
+	}
+	res.MeanDB = make([][]float64, len(arms))
+	for a := range res.MeanDB {
+		res.MeanDB[a] = make([]float64, len(times))
+	}
+	for ti, tU := range times {
+		errsByArm := make([][]float64, len(arms))
+		for _, seed := range seeds {
+			sc, err := NewScenario(env, seed)
+			if err != nil {
+				return Fig15Result{}, err
+			}
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for a, arm := range arms {
+				recon, err := sc.UpdateWithRefs(tU, arm.Refs(sc, rng))
+				if err != nil {
+					return Fig15Result{}, err
+				}
+				errsByArm[a] = append(errsByArm[a], sc.ReconErrors(recon, tU)...)
+			}
+		}
+		for a := range arms {
+			res.MeanDB[a][ti] = Mean(errsByArm[a])
+		}
+	}
+	return res, nil
+}
+
+// Fig16Result holds the constraint-ablation errors of Fig 16.
+type Fig16Result struct {
+	Timestamps []string
+	// RSVD, C1, C1C2 are mean errors per timestamp for the three arms.
+	RSVD, C1, C1C2 []float64
+}
+
+// Fig16ConstraintAblation evaluates the three solver arms across the five
+// update times. Per Algorithm 1, the solver starts from a random L0
+// (cold start), which is where the constraints' contributions are
+// visible; the production warm start is ablated separately.
+func Fig16ConstraintAblation(env testbed.Environment, seeds []uint64) (Fig16Result, error) {
+	times := testbed.UpdateTimestamps()
+	res := Fig16Result{
+		Timestamps: testbed.UpdateTimestampLabels(),
+		RSVD:       make([]float64, len(times)),
+		C1:         make([]float64, len(times)),
+		C1C2:       make([]float64, len(times)),
+	}
+	arms := []struct {
+		dst  []float64
+		opts []core.Option
+	}{
+		{res.RSVD, []core.Option{core.WithWarmStart(false), core.WithConstraint1(false), core.WithConstraint2(false)}},
+		{res.C1, []core.Option{core.WithWarmStart(false), core.WithConstraint2(false)}},
+		{res.C1C2, []core.Option{core.WithWarmStart(false)}},
+	}
+	for ti, tU := range times {
+		for _, arm := range arms {
+			var errs []float64
+			for _, seed := range seeds {
+				sc, err := NewScenario(env, seed, arm.opts...)
+				if err != nil {
+					return Fig16Result{}, err
+				}
+				_, r, err := sc.Update(tU)
+				if err != nil {
+					return Fig16Result{}, err
+				}
+				errs = append(errs, sc.ReconErrors(r.X, tU)...)
+			}
+			arm.dst[ti] = Mean(errs)
+		}
+	}
+	return res, nil
+}
+
+// Fig18Result holds the reconstruction-error CDFs at the five update
+// times (Fig 18).
+type Fig18Result struct {
+	Labels []string
+	CDFs   []CDF
+}
+
+// Fig18ReconstructionCDF runs the default pipeline at each update time.
+func Fig18ReconstructionCDF(env testbed.Environment, seeds []uint64) (Fig18Result, error) {
+	res := Fig18Result{Labels: testbed.UpdateTimestampLabels()}
+	for _, tU := range testbed.UpdateTimestamps() {
+		var errs []float64
+		for _, seed := range seeds {
+			sc, err := NewScenario(env, seed)
+			if err != nil {
+				return Fig18Result{}, err
+			}
+			_, r, err := sc.Update(tU)
+			if err != nil {
+				return Fig18Result{}, err
+			}
+			errs = append(errs, sc.ReconErrors(r.X, tU)...)
+		}
+		res.CDFs = append(res.CDFs, NewCDF("recon", errs))
+	}
+	return res, nil
+}
+
+// Fig19Result holds mean reconstruction errors per environment per update
+// time (Fig 19).
+type Fig19Result struct {
+	Timestamps   []string
+	Environments []string
+	// MeanDB[e][t] is the mean error of environment e at time t.
+	MeanDB [][]float64
+}
+
+// Fig19ReconstructionEnvironments sweeps the three environments.
+func Fig19ReconstructionEnvironments(seeds []uint64) (Fig19Result, error) {
+	envs := testbed.Environments()
+	times := testbed.UpdateTimestamps()
+	res := Fig19Result{Timestamps: testbed.UpdateTimestampLabels()}
+	res.MeanDB = make([][]float64, len(envs))
+	for e, env := range envs {
+		res.Environments = append(res.Environments, env.Name)
+		res.MeanDB[e] = make([]float64, len(times))
+		for ti, tU := range times {
+			var errs []float64
+			for _, seed := range seeds {
+				sc, err := NewScenario(env, seed)
+				if err != nil {
+					return Fig19Result{}, err
+				}
+				_, r, err := sc.Update(tU)
+				if err != nil {
+					return Fig19Result{}, err
+				}
+				errs = append(errs, sc.ReconErrors(r.X, tU)...)
+			}
+			res.MeanDB[e][ti] = Mean(errs)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,322 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render functions turn experiment results into the text tables that
+// cmd/figgen prints and EXPERIMENTS.md records. Each mirrors the series
+// the corresponding paper figure plots.
+
+// Render renders Fig 1.
+func (r Fig01Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 1 — short-term RSS variation (100 s, one link)\n")
+	fmt.Fprintf(&b, "peak-to-peak swing: %.1f dB (paper: ~5 dB)\n", r.SwingDB)
+	fmt.Fprintf(&b, "trace (every 10th sample, dBm):")
+	for i := 0; i < len(r.RSS); i += 10 {
+		fmt.Fprintf(&b, " %.1f", r.RSS[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Render renders Fig 2.
+func (r Fig02Result) Render() string {
+	t := Table{
+		Title:   "Fig 2 — long-term RSS shift at a fixed location",
+		Headers: []string{"survey", "mean dBm", "p10", "p90"},
+		Rows: [][]string{
+			{"original", F(r.Original.Mean()), F(r.Original.Percentile(0.1)), F(r.Original.Percentile(0.9))},
+			{"5 days", F(r.After5Days.Mean()), F(r.After5Days.Percentile(0.1)), F(r.After5Days.Percentile(0.9))},
+			{"45 days", F(r.After45Days.Mean()), F(r.After45Days.Percentile(0.1)), F(r.After45Days.Percentile(0.9))},
+		},
+	}
+	return t.String() + fmt.Sprintf("mean |shift|: %.1f dB @5 days (paper ~2.5), %.1f dB @45 days (paper ~6)\n",
+		r.Shift5DB, r.Shift45DB)
+}
+
+// Render renders Fig 5.
+func (r Fig05Result) Render() string {
+	t := Table{
+		Title:   "Fig 5 — normalized singular values of the six fingerprint matrices",
+		Headers: []string{"survey"},
+	}
+	for i := range r.Profiles[0] {
+		t.Headers = append(t.Headers, fmt.Sprintf("s%d", i+1))
+	}
+	for k, label := range r.Labels {
+		row := []string{label}
+		for _, v := range r.Profiles[k] {
+			row = append(row, F(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String() + fmt.Sprintf("leading singular value share: %.0f%% (approximately low rank, r = M)\n",
+		100*r.LeadingShare)
+}
+
+// Render renders Fig 6.
+func (r Fig06Result) Render() string {
+	return fmt.Sprintf(`Fig 6 — stability of RSS differences (100 s window)
+std of raw RSS readings:                 %.2f dB
+std of neighboring-location difference:  %.2f dB
+std of adjacent-link difference:         %.2f dB
+(differences must vary less than raw readings)
+`, r.RawStd, r.NeighborDiffStd, r.AdjacentLinkDiffStd)
+}
+
+// Render renders Fig 8.
+func (r Fig08Result) Render() string {
+	t := Table{
+		Title:   "Fig 8 — CDF of neighboring-location continuity NLC (normalized)",
+		Headers: []string{"survey", "median", "p90", "frac<0.2"},
+	}
+	for k, label := range r.Labels {
+		c := r.CDFs[k]
+		t.Rows = append(t.Rows, []string{label, F(c.Median()), F(c.Percentile(0.9)), F(c.FractionBelow(0.2))})
+	}
+	return t.String() + fmt.Sprintf("worst-case fraction below 0.2: %.0f%% (paper: >90%%)\n", 100*r.FractionBelow02)
+}
+
+// Render renders Fig 9.
+func (r Fig09Result) Render() string {
+	t := Table{
+		Title:   "Fig 9 — CDF of adjacent-link similarity ALS (normalized)",
+		Headers: []string{"survey", "median", "p90", "frac<0.4"},
+	}
+	for k, label := range r.Labels {
+		c := r.CDFs[k]
+		t.Rows = append(t.Rows, []string{label, F(c.Median()), F(c.Percentile(0.9)), F(c.FractionBelow(0.4))})
+	}
+	return t.String() + fmt.Sprintf("worst-case fraction below 0.4: %.0f%% (paper: >80%%)\n", 100*r.FractionBelow04)
+}
+
+// Render renders Fig 14.
+func (r Fig14Result) Render() string {
+	t := Table{
+		Title:   "Fig 14 — reconstruction error vs reference-location choice (45 days)",
+		Headers: []string{"arm", "median dB", "mean dB", "p90 dB"},
+	}
+	for _, c := range r.CDFs {
+		t.Rows = append(t.Rows, []string{c.Name, F(c.Median()), F(c.Mean()), F(c.Percentile(0.9))})
+	}
+	return t.String()
+}
+
+// Render renders Fig 15.
+func (r Fig15Result) Render() string {
+	t := Table{
+		Title:   "Fig 15 — mean reconstruction error (dB) vs reference choice over time",
+		Headers: append([]string{"arm"}, r.Timestamps...),
+	}
+	for a, arm := range r.Arms {
+		row := []string{arm}
+		for _, v := range r.MeanDB[a] {
+			row = append(row, F(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}
+
+// Render renders Fig 16.
+func (r Fig16Result) Render() string {
+	t := Table{
+		Title:   "Fig 16 — constraint ablation, mean reconstruction error (dB)",
+		Headers: append([]string{"arm"}, r.Timestamps...),
+	}
+	rows := []struct {
+		name string
+		v    []float64
+	}{
+		{"RSVD", r.RSVD},
+		{"RSVD + Constraint 1", r.C1},
+		{"RSVD + Constraint 1 + Constraint 2", r.C1C2},
+	}
+	for _, row := range rows {
+		cells := []string{row.name}
+		for _, v := range row.v {
+			cells = append(cells, F(v))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t.String()
+}
+
+// Render renders Fig 17.
+func (r Fig17Result) Render() string {
+	t := Table{
+		Title:   "Fig 17 — localization error (m) with partial single-shot data + Constraint 2",
+		Headers: append([]string{"arm"}, r.Timestamps...),
+	}
+	rows := []struct {
+		name string
+		v    []float64
+	}{
+		{"80% data + Constraint 2", r.Data80C2},
+		{"50% data + Constraint 2", r.Data50C2},
+		{"Measured (ground truth)", r.Measured},
+	}
+	for _, row := range rows {
+		cells := []string{row.name}
+		for _, v := range row.v {
+			cells = append(cells, F(v))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	t2 := Table{
+		Title:   "database error vs noise-free truth (dB) — Constraint 2's denoising",
+		Headers: append([]string{"arm"}, r.Timestamps...),
+	}
+	rows2 := []struct {
+		name string
+		v    []float64
+	}{
+		{"80% data + Constraint 2", r.DBErr80C2},
+		{"50% data + Constraint 2", r.DBErr50C2},
+		{"Measured (100%, single-shot)", r.DBErrMeasured},
+	}
+	for _, row := range rows2 {
+		cells := []string{row.name}
+		for _, v := range row.v {
+			cells = append(cells, F(v))
+		}
+		t2.Rows = append(t2.Rows, cells)
+	}
+	return t.String() + t2.String()
+}
+
+// Render renders Fig 18.
+func (r Fig18Result) Render() string {
+	t := Table{
+		Title:   "Fig 18 — reconstruction error CDFs over time (office)",
+		Headers: []string{"update time", "median dB", "mean dB", "p90 dB"},
+	}
+	for k, label := range r.Labels {
+		c := r.CDFs[k]
+		t.Rows = append(t.Rows, []string{label, F(c.Median()), F(c.Mean()), F(c.Percentile(0.9))})
+	}
+	return t.String()
+}
+
+// Render renders Fig 19.
+func (r Fig19Result) Render() string {
+	t := Table{
+		Title:   "Fig 19 — mean reconstruction error (dB) per environment",
+		Headers: append([]string{"environment"}, r.Timestamps...),
+	}
+	for e, env := range r.Environments {
+		row := []string{env}
+		for _, v := range r.MeanDB[e] {
+			row = append(row, F(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}
+
+// Render renders Fig 20.
+func (r Fig20Result) Render() string {
+	t := Table{
+		Title:   "Fig 20 — database update labor (hours) vs area scale",
+		Headers: []string{"edge scale", "traditional", "iUpdater"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", p.Scale), F(p.TraditionalHours), F(p.IUpdaterHours),
+		})
+	}
+	return t.String()
+}
+
+// Render renders Fig 21.
+func (r Fig21Result) Render() string {
+	t := Table{
+		Title:   "Fig 21 — localization error CDFs at 45 days (office)",
+		Headers: []string{"arm", "median m", "mean m", "p90 m"},
+	}
+	for _, c := range []CDF{r.Groundtruth, r.IUpdater, r.Stale} {
+		t.Rows = append(t.Rows, []string{c.Name, F(c.Median()), F(c.Mean()), F(c.Percentile(0.9))})
+	}
+	return t.String()
+}
+
+// Render renders Fig 22.
+func (r Fig22Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 22 — mean localization error (m), three environments x five times\n")
+	for e, env := range r.Environments {
+		t := Table{
+			Title:   env,
+			Headers: append([]string{"arm"}, r.Timestamps...),
+		}
+		rows := []struct {
+			name string
+			v    []float64
+		}{
+			{"Groundtruth", r.Groundtruth[e]},
+			{"iUpdater", r.IUpdater[e]},
+			{"OMP w/o rec.", r.Stale[e]},
+		}
+		for _, row := range rows {
+			cells := []string{row.name}
+			for _, v := range row.v {
+				cells = append(cells, F(v))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "iUpdater improvement over stale: %.1f%%\n", r.ImprovementPct[e])
+	}
+	return b.String()
+}
+
+// Render renders Fig 23.
+func (r Fig23Result) Render() string {
+	t := Table{
+		Title:   "Fig 23 — comparison with RASS at 45 days (office)",
+		Headers: []string{"arm", "median m", "mean m", "p90 m"},
+	}
+	for _, c := range []CDF{r.IUpdater, r.RASSRec, r.RASSStale} {
+		t.Rows = append(t.Rows, []string{c.Name, F(c.Median()), F(c.Mean()), F(c.Percentile(0.9))})
+	}
+	return t.String()
+}
+
+// Render renders Fig 24.
+func (r Fig24Result) Render() string {
+	t := Table{
+		Title:   "Fig 24 — mean localization error (m) vs RASS over time",
+		Headers: append([]string{"arm"}, r.Timestamps...),
+	}
+	rows := []struct {
+		name string
+		v    []float64
+	}{
+		{"iUpdater", r.IUpdater},
+		{"RASS w/ rec.", r.RASSRec},
+		{"RASS w/o rec.", r.RASSStale},
+	}
+	for _, row := range rows {
+		cells := []string{row.name}
+		for _, v := range row.v {
+			cells = append(cells, F(v))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t.String()
+}
+
+// Render renders the labor table.
+func (r LaborSavingsResult) Render() string {
+	return fmt.Sprintf(`Labor savings (§VI-C, office with 94 locations)
+traditional survey, 50 samples/loc: %.0f s (46.9 min)
+traditional survey, 5 samples/loc:  %.0f s
+iUpdater, 8 references x 5 samples: %.0f s
+saving vs 50-sample traditional: %.1f%% (paper: 97.9%%)
+saving vs 5-sample traditional:  %.1f%% (paper: 92.1%%)
+`, r.TraditionalSeconds50, r.TraditionalSeconds5, r.IUpdaterSeconds,
+		r.SavingVs50Pct, r.SavingVs5Pct)
+}

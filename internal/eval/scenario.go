@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iupdater/internal/core"
+	"iupdater/internal/fingerprint"
+	"iupdater/internal/geom"
+	"iupdater/internal/mat"
+	"iupdater/internal/testbed"
+)
+
+// Scenario is one deployment run: an environment, its surveyor, the
+// original-time database and the update pipeline built from it.
+type Scenario struct {
+	Env      testbed.Environment
+	Surveyor *testbed.Surveyor
+	Original fingerprint.Matrix
+	Mask     fingerprint.Mask
+	Updater  *core.Updater
+}
+
+// NewScenario surveys the original database at t=0 and prepares the
+// update pipeline. Extra reconstruction options are appended to the
+// production defaults.
+func NewScenario(env testbed.Environment, seed uint64, opts ...core.Option) (*Scenario, error) {
+	s := testbed.NewSurveyor(env, seed)
+	fp0, _ := s.FullSurvey(0, testbed.TraditionalSamples)
+	cfg := core.DefaultUpdaterConfig()
+	cfg.Reconstruction = append(cfg.Reconstruction, opts...)
+	up, err := core.NewUpdater(fp0, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: building updater: %w", err)
+	}
+	return &Scenario{
+		Env:      env,
+		Surveyor: s,
+		Original: fp0,
+		Mask:     s.Mask(),
+		Updater:  up,
+	}, nil
+}
+
+// Update runs the full iUpdater refresh at time t: no-decrease scan plus
+// reference survey plus reconstruction.
+func (sc *Scenario) Update(t float64) (fingerprint.Matrix, *core.Result, error) {
+	xb := sc.Surveyor.NoDecreaseScan(t, testbed.IUpdaterSamples)
+	xr, _ := sc.Surveyor.ReferenceSurvey(t, sc.Updater.ReferenceLocations(), testbed.IUpdaterSamples)
+	return sc.Updater.Update(xb, sc.Mask, xr, t)
+}
+
+// UpdateWithRefs runs a refresh using custom reference locations (the
+// Fig 14/15 arms): the correlation matrix is re-learned on those columns
+// of the original database.
+func (sc *Scenario) UpdateWithRefs(t float64, refs []int, opts ...core.Option) (*mat.Dense, error) {
+	xmic := sc.Original.X.SelectCols(refs)
+	lrr, err := core.LRR(sc.Original.X, xmic, core.DefaultLRRConfig())
+	if err != nil {
+		return nil, err
+	}
+	xb := sc.Surveyor.NoDecreaseScan(t, testbed.IUpdaterSamples)
+	xr, _ := sc.Surveyor.ReferenceSurvey(t, refs, testbed.IUpdaterSamples)
+	all := append([]core.Option{core.WithWarmStart(true)}, opts...)
+	rc := core.NewReconstructor(all...)
+	res, err := rc.Reconstruct(core.Input{
+		XB: xb, B: sc.Mask.B, XR: xr, Z: lrr.Z,
+		Links: sc.Original.Links, PerStrip: sc.Original.PerStrip,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
+}
+
+// ReconErrors returns the per-entry |reconstruction - ground truth|
+// values over the affected (labor-cost) entries — the entries the update
+// actually has to predict. Ground truth is the measured ground-truth
+// matrix, as in the paper's metric (§VI-A).
+func (sc *Scenario) ReconErrors(recon *mat.Dense, t float64) []float64 {
+	gt, _ := sc.Surveyor.FullSurvey(t, testbed.TraditionalSamples)
+	var out []float64
+	m, n := recon.Dims()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if !sc.Mask.Known(i, j) {
+				out = append(out, math.Abs(recon.At(i, j)-gt.X.At(i, j)))
+			}
+		}
+	}
+	return out
+}
+
+// TestPoints returns the localization test positions: targets standing at
+// randomly chosen marked grid locations with bounded standing jitter.
+func TestPoints(g geom.Grid, seed int64, n int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for k := range pts {
+		p := g.Center(rng.Intn(g.NumCells()))
+		p.X += (rng.Float64()*2 - 1) * StandingJitterM
+		p.Y += (rng.Float64()*2 - 1) * StandingJitterM
+		pts[k] = p
+	}
+	return pts
+}
+
+// PointLocalizer estimates continuous positions from online measurements.
+type PointLocalizer interface {
+	LocatePoint(y []float64) (geom.Point, error)
+}
+
+// LocalizationErrors runs the standard online protocol against a
+// localizer: TargetsPerRun targets, OnlineSamples readings each, Euclid
+// distance errors returned.
+func (sc *Scenario) LocalizationErrors(l PointLocalizer, tOnline float64, seed int64) ([]float64, error) {
+	pts := TestPoints(sc.Surveyor.Channel.Grid(), seed, TargetsPerRun)
+	errs := make([]float64, 0, len(pts))
+	for k, p := range pts {
+		y := sc.Surveyor.MeasureOnline(p, tOnline+float64(k)*40, OnlineSamples)
+		est, err := l.LocatePoint(y)
+		if err != nil {
+			return nil, fmt.Errorf("eval: localization attempt %d: %w", k, err)
+		}
+		errs = append(errs, est.Distance(p))
+	}
+	return errs, nil
+}
+
+// DefaultSeeds returns the standard seed set for multi-run experiments.
+func DefaultSeeds(n int) []uint64 {
+	if n <= 0 {
+		n = 3
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(3 + 7*i)
+	}
+	return out
+}

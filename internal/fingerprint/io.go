@@ -1,0 +1,40 @@
+package fingerprint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Database is the persistent fingerprint database: the latest fingerprint
+// matrix plus the mask of no-decrease entries, as maintained by the
+// Reconstruction Data Collection module of Fig 10.
+type Database struct {
+	Fingerprint Matrix
+	Mask        Mask
+}
+
+// Save serializes the database with encoding/gob.
+func (d *Database) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("fingerprint: save database: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database produced by Save.
+func Load(r io.Reader) (*Database, error) {
+	var d Database
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("fingerprint: load database: %w", err)
+	}
+	m, n := d.Fingerprint.X.Dims()
+	if m != d.Fingerprint.Links || n != d.Fingerprint.Links*d.Fingerprint.PerStrip {
+		return nil, fmt.Errorf("fingerprint: load database: inconsistent dimensions %dx%d for M=%d K=%d",
+			m, n, d.Fingerprint.Links, d.Fingerprint.PerStrip)
+	}
+	if err := d.Mask.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

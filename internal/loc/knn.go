@@ -1,0 +1,113 @@
+package loc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iupdater/internal/mat"
+)
+
+// NearestColumn is the simplest fingerprint matcher: the column with the
+// smallest Euclidean distance to the measurement wins.
+type NearestColumn struct {
+	x *mat.Dense
+}
+
+var _ Localizer = (*NearestColumn)(nil)
+
+// NewNearestColumn builds a nearest-column matcher over x.
+func NewNearestColumn(x *mat.Dense) *NearestColumn {
+	return &NearestColumn{x: x}
+}
+
+// Locate implements Localizer.
+func (nc *NearestColumn) Locate(y []float64) (int, error) {
+	m, n := nc.x.Dims()
+	if len(y) != m {
+		return 0, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+	}
+	best, bestDist := -1, math.Inf(1)
+	for j := 0; j < n; j++ {
+		var d float64
+		for i := 0; i < m; i++ {
+			diff := nc.x.At(i, j) - y[i]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best, nil
+}
+
+// KNN is the classic weighted K-nearest-neighbor fingerprint matcher: the
+// estimate is the cell among the K closest columns with the largest
+// inverse-distance weight mass per cell (here cells are distinct columns,
+// so it reduces to the closest of the K columns unless weights are
+// aggregated by the caller over repeated measurements).
+type KNN struct {
+	x *mat.Dense
+	k int
+}
+
+var _ Localizer = (*KNN)(nil)
+
+// NewKNN builds a K-nearest-neighbor matcher; k <= 0 defaults to 3.
+func NewKNN(x *mat.Dense, k int) *KNN {
+	if k <= 0 {
+		k = 3
+	}
+	return &KNN{x: x, k: k}
+}
+
+// Neighbors returns the k nearest columns and their distances, ascending.
+func (kn *KNN) Neighbors(y []float64) ([]int, []float64, error) {
+	m, n := kn.x.Dims()
+	if len(y) != m {
+		return nil, nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+	}
+	type cand struct {
+		j int
+		d float64
+	}
+	cands := make([]cand, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for i := 0; i < m; i++ {
+			diff := kn.x.At(i, j) - y[i]
+			d += diff * diff
+		}
+		cands[j] = cand{j: j, d: math.Sqrt(d)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	k := kn.k
+	if k > n {
+		k = n
+	}
+	idx := make([]int, k)
+	dist := make([]float64, k)
+	for i := 0; i < k; i++ {
+		idx[i], dist[i] = cands[i].j, cands[i].d
+	}
+	return idx, dist, nil
+}
+
+// Locate implements Localizer: inverse-distance-weighted vote over the
+// K nearest columns' strip positions, snapped back to the best cell.
+func (kn *KNN) Locate(y []float64) (int, error) {
+	idx, dist, err := kn.Neighbors(y)
+	if err != nil {
+		return 0, err
+	}
+	// Weighted centroid in (strip-major) index space is meaningless when
+	// neighbors span strips; use weight-per-cell and return the heaviest.
+	best, bestW := idx[0], 0.0
+	for i, j := range idx {
+		w := 1 / (dist[i] + 1e-9)
+		if w > bestW {
+			best, bestW = j, w
+		}
+	}
+	return best, nil
+}

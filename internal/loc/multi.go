@@ -1,0 +1,182 @@
+package loc
+
+import (
+	"fmt"
+
+	"iupdater/internal/geom"
+)
+
+// LocateMultiple estimates up to maxTargets device-free target positions
+// from one online measurement, extending the paper's single-target
+// formulation (Eqn 26 with a 1-sparse W) by successive interference
+// cancellation:
+//
+//  1. detection — the dominant fingerprint column is selected by the
+//     greedy pursuit, its attenuation pattern (relative to the per-link
+//     unobstructed levels) is subtracted from the measurement, and the
+//     residual is searched again until it carries no more structure than
+//     noise or maxTargets anchors are found;
+//  2. refinement — each anchor is re-localized with the full
+//     weighted-centroid estimator on a measurement from which all *other*
+//     anchors' patterns were cancelled, with candidate columns restricted
+//     to the anchor's neighborhood so estimates do not re-blend.
+//
+// Attenuations superpose in dB for targets blocking different links — the
+// regime where device-free multi-target localization is well posed.
+// excludeRadius separates anchors (<= 0 selects twice the grid's larger
+// cell dimension). Fewer than maxTargets estimates may be returned.
+func (op *OMPPoint) LocateMultiple(y []float64, maxTargets int, excludeRadius float64) ([]geom.Point, error) {
+	if maxTargets < 1 {
+		return nil, fmt.Errorf("loc: maxTargets = %d", maxTargets)
+	}
+	m, _ := op.OMP.x.Dims()
+	if len(y) != m {
+		return nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+	}
+	if excludeRadius <= 0 {
+		along, across := op.Grid.CellSize()
+		excludeRadius = 2 * maxF(along, across)
+	}
+	base := op.rowMaxima()
+
+	// Phase 1: anchor detection with cancellation.
+	work := append([]float64(nil), y...)
+	var anchors []int
+	for len(anchors) < maxTargets {
+		sub := op.excluding(anchors, excludeRadius)
+		if sub == nil {
+			break
+		}
+		sel, err := sub.OMP.Pursue(work)
+		if err != nil || len(sel) == 0 {
+			break
+		}
+		anchor := sel[0]
+		anchors = append(anchors, anchor)
+		for i := 0; i < m; i++ {
+			if eff := base[i] - op.OMP.x.At(i, anchor); eff > 0 {
+				work[i] += eff
+			}
+		}
+		// Residual structure check: does any link still read well below
+		// its unobstructed level?
+		var remaining float64
+		for i := range work {
+			if d := base[i] - work[i]; d > 1.5 {
+				remaining += d
+			}
+		}
+		if remaining < 3 {
+			break
+		}
+	}
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("loc: no target found")
+	}
+
+	// Phase 2: per-anchor refinement.
+	out := make([]geom.Point, 0, len(anchors))
+	for k, anchor := range anchors {
+		cleaned := append([]float64(nil), y...)
+		for k2, other := range anchors {
+			if k2 == k {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				if eff := base[i] - op.OMP.x.At(i, other); eff > 0 {
+					cleaned[i] += eff
+				}
+			}
+		}
+		sub := op.restrictedTo(anchor, 2*excludeRadius)
+		p, err := sub.LocatePoint(cleaned)
+		if err != nil {
+			p = op.Grid.Center(anchor)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// rowMaxima estimates per-link unobstructed levels: the reading is
+// highest when the target is far from the link.
+func (op *OMPPoint) rowMaxima() []float64 {
+	m, _ := op.OMP.x.Dims()
+	base := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := op.OMP.x.Row(i)
+		base[i] = row[0]
+		for _, v := range row[1:] {
+			if v > base[i] {
+				base[i] = v
+			}
+		}
+	}
+	return base
+}
+
+// excluding returns a matcher with all columns within radius of the
+// anchors' cells removed, or nil when nothing remains.
+func (op *OMPPoint) excluding(anchors []int, radius float64) *OMPPoint {
+	_, n := op.OMP.x.Dims()
+	allowed := make([]bool, n)
+	any := false
+	for j := 0; j < n; j++ {
+		c := op.Grid.Center(j)
+		ok := true
+		for _, a := range anchors {
+			if c.Distance(op.Grid.Center(a)) <= radius {
+				ok = false
+				break
+			}
+		}
+		allowed[j] = ok
+		any = any || ok
+	}
+	if !any {
+		return nil
+	}
+	return op.maskedCopy(allowed)
+}
+
+// restrictedTo returns a matcher keeping only columns within radius of
+// the anchor cell.
+func (op *OMPPoint) restrictedTo(anchor int, radius float64) *OMPPoint {
+	_, n := op.OMP.x.Dims()
+	allowed := make([]bool, n)
+	center := op.Grid.Center(anchor)
+	for j := 0; j < n; j++ {
+		allowed[j] = op.Grid.Center(j).Distance(center) <= radius
+	}
+	allowed[anchor] = true
+	return op.maskedCopy(allowed)
+}
+
+// maskedCopy returns an OMPPoint sharing the matrix but with excluded
+// columns' norms zeroed so the pursuit never selects them.
+func (op *OMPPoint) maskedCopy(allowed []bool) *OMPPoint {
+	norms := make([]float64, len(op.OMP.colNorm))
+	copy(norms, op.OMP.colNorm)
+	for j, ok := range allowed {
+		if !ok {
+			norms[j] = 0
+		}
+	}
+	return &OMPPoint{
+		OMP: &OMP{
+			x:        op.OMP.x,
+			cfg:      op.OMP.cfg,
+			centered: op.OMP.centered,
+			colMean:  op.OMP.colMean,
+			colNorm:  norms,
+		},
+		Grid: op.Grid,
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

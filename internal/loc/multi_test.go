@@ -1,0 +1,117 @@
+package loc
+
+import (
+	"math"
+	"testing"
+
+	"iupdater/internal/geom"
+	"iupdater/internal/testbed"
+)
+
+// assignmentError returns the total distance of the best matching between
+// estimates and truths (2-target case: both orderings tried).
+func assignmentError(est, truth []geom.Point) float64 {
+	if len(truth) == 2 && len(est) >= 2 {
+		a := est[0].Distance(truth[0]) + est[1].Distance(truth[1])
+		b := est[0].Distance(truth[1]) + est[1].Distance(truth[0])
+		return math.Min(a, b)
+	}
+	var total float64
+	for _, p := range truth {
+		best := math.Inf(1)
+		for _, e := range est {
+			if d := e.Distance(p); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func TestLocateMultipleTwoTargets(t *testing.T) {
+	s := testbed.NewSurveyor(testbed.Office(), 41)
+	fp, _ := s.FullSurvey(0, testbed.TraditionalSamples)
+	g := s.Channel.Grid()
+	omp := NewOMPPoint(fp.X, g, OMPConfig{})
+
+	cases := []struct {
+		name string
+		a, b int // target cells in different strips
+	}{
+		{"far strips", g.CellIndex(1, 3), g.CellIndex(6, 8)},
+		{"middle strips", g.CellIndex(2, 9), g.CellIndex(5, 2)},
+		{"edges", g.CellIndex(0, 1), g.CellIndex(7, 10)},
+	}
+	good := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			truth := []geom.Point{g.Center(tc.a), g.Center(tc.b)}
+			y := s.MeasureOnlineMulti(truth, 700, testbed.IUpdaterSamples)
+			est, err := omp.LocateMultiple(y, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(est) == 0 || len(est) > 2 {
+				t.Fatalf("%d estimates", len(est))
+			}
+			if len(est) == 2 && assignmentError(est, truth) < 5 {
+				good++
+			}
+		})
+	}
+	if good < 2 {
+		t.Errorf("only %d/3 two-target cases recovered both targets within tolerance", good)
+	}
+}
+
+func TestLocateMultipleSingleTargetStaysAccurate(t *testing.T) {
+	// With one real target, asking for up to 2 must not hallucinate a
+	// distant second target as the primary.
+	s := testbed.NewSurveyor(testbed.Office(), 42)
+	fp, _ := s.FullSurvey(0, testbed.TraditionalSamples)
+	g := s.Channel.Grid()
+	omp := NewOMPPoint(fp.X, g, OMPConfig{})
+	truth := g.Center(g.CellIndex(4, 6))
+	y := s.MeasureOnline(truth, 900, testbed.IUpdaterSamples)
+	est, err := omp.LocateMultiple(y, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est[0].Distance(truth); d > 2 {
+		t.Errorf("primary estimate %.2f m from the single target", d)
+	}
+}
+
+func TestLocateMultipleValidation(t *testing.T) {
+	s := testbed.NewSurveyor(testbed.Office(), 43)
+	fp, _ := s.FullSurvey(0, testbed.TraditionalSamples)
+	omp := NewOMPPoint(fp.X, s.Channel.Grid(), OMPConfig{})
+	if _, err := omp.LocateMultiple(make([]float64, 8), 0, 0); err == nil {
+		t.Error("maxTargets=0 accepted")
+	}
+	if _, err := omp.LocateMultiple(make([]float64, 3), 2, 0); err == nil {
+		t.Error("wrong measurement length accepted")
+	}
+}
+
+func TestSampleAtMultiSuperposition(t *testing.T) {
+	// Two targets on different strips must both show in the vector: each
+	// affected link reads lower than with only the other target present.
+	s := testbed.NewSurveyor(testbed.Office(), 44)
+	g := s.Channel.Grid()
+	a := g.Center(g.CellIndex(1, 5))
+	b := g.Center(g.CellIndex(6, 5))
+	const ts = 333
+	both := s.Channel.SampleAtMulti(1, []geom.Point{a, b}, ts)
+	onlyB := s.Channel.SampleAtMulti(1, []geom.Point{b}, ts)
+	if both >= onlyB {
+		t.Errorf("link 1 with both targets (%.1f) not below with only far target (%.1f)", both, onlyB)
+	}
+	// And a single-target multi-sample equals the single-target path.
+	single := s.Channel.SampleAt(1, a, ts)
+	multi := s.Channel.SampleAtMulti(1, []geom.Point{a}, ts)
+	if math.Abs(single-multi) > 1e-9 {
+		t.Errorf("single-target paths disagree: %.3f vs %.3f", single, multi)
+	}
+}

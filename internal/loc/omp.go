@@ -1,0 +1,331 @@
+// Package loc implements the Target Localization module of Fig 10: the
+// greedy orthogonal-matching-pursuit matcher of Eqns 26-27, plus the
+// baselines the paper compares against (K-nearest-neighbor matching and
+// the SVR-based RASS system).
+package loc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iupdater/internal/geom"
+	"iupdater/internal/mat"
+)
+
+// Localizer estimates the grid cell of a target from an online RSS
+// vector.
+type Localizer interface {
+	// Locate returns the estimated grid cell index for the online
+	// measurement y (one value per link).
+	Locate(y []float64) (int, error)
+}
+
+// OMPConfig tunes the OMP matcher.
+type OMPConfig struct {
+	// Xi is the squared-residual stopping threshold ξ of Eqn 27; <= 0
+	// uses a default derived from the measurement dimension.
+	Xi float64
+	// MaxSparsity bounds the number of selected columns (1 target plus a
+	// few correction columns); 0 defaults to 3.
+	MaxSparsity int
+}
+
+// OMP matches online measurements against the columns of a fingerprint
+// matrix by greedy orthogonal matching pursuit. The location estimate is
+// the column whose (first, dominant) selection explains the measurement.
+//
+// Columns are mean-centered and normalized internally: raw RSS columns
+// all share a large common baseline component, which would otherwise make
+// correlation-based greedy selection meaningless.
+type OMP struct {
+	x        *mat.Dense // M x N fingerprint matrix
+	cfg      OMPConfig
+	centered *mat.Dense // per-column centered + normalized copy
+	colMean  []float64
+	colNorm  []float64
+}
+
+// Compile-time interface check.
+var _ Localizer = (*OMP)(nil)
+
+// NewOMP builds an OMP matcher over the fingerprint matrix x.
+func NewOMP(x *mat.Dense, cfg OMPConfig) *OMP {
+	if cfg.MaxSparsity <= 0 {
+		cfg.MaxSparsity = 3
+	}
+	m, n := x.Dims()
+	centered := mat.New(m, n)
+	colMean := make([]float64, n)
+	colNorm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var mean float64
+		for i := 0; i < m; i++ {
+			mean += x.At(i, j)
+		}
+		mean /= float64(m)
+		colMean[j] = mean
+		var norm float64
+		for i := 0; i < m; i++ {
+			v := x.At(i, j) - mean
+			centered.Set(i, j, v)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		colNorm[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				centered.Set(i, j, centered.At(i, j)/norm)
+			}
+		}
+	}
+	return &OMP{x: x, cfg: cfg, centered: centered, colMean: colMean, colNorm: colNorm}
+}
+
+// Locate implements Localizer via Eqn 27: greedily select the fingerprint
+// columns most correlated with the residual, solve the restricted least
+// squares, and stop when the residual falls below ξ. The first selected
+// column — the dominant explanation of the measurement — is the location
+// estimate.
+func (o *OMP) Locate(y []float64) (int, error) {
+	sel, err := o.Pursue(y)
+	if err != nil {
+		return 0, err
+	}
+	return sel[0], nil
+}
+
+// PursueWeighted runs the greedy pursuit and returns the selected column
+// indices with their final least-squares weights (Eqn 26's nonlinear
+// optimization restricted to the selected support).
+func (o *OMP) PursueWeighted(y []float64) ([]int, []float64, error) {
+	sel, err := o.Pursue(y)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, _ := o.x.Dims()
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(m)
+	a := mat.New(m, len(sel))
+	for k, j := range sel {
+		for i := 0; i < m; i++ {
+			a.Set(i, k, o.centered.At(i, j))
+		}
+	}
+	target := make([]float64, m)
+	for i, v := range y {
+		target[i] = v - mean
+	}
+	w, err := mat.LeastSquares(a, target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loc: OMP weights: %w", err)
+	}
+	return sel, w, nil
+}
+
+// Pursue runs the greedy pursuit and returns the selected column indices
+// in selection order.
+func (o *OMP) Pursue(y []float64) ([]int, error) {
+	m, _ := o.x.Dims()
+	if len(y) != m {
+		return nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+	}
+	// Center the measurement the same way as the columns.
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(m)
+	resid := make([]float64, m)
+	for i, v := range y {
+		resid[i] = v - mean
+	}
+
+	xi := o.cfg.Xi
+	if xi <= 0 {
+		// Default: stop once the residual is at the short-term noise
+		// floor (~0.6 dB per link), so clean matches resolve to a single
+		// column and only ambiguous measurements blend cells.
+		xi = 0.35 * float64(m)
+	}
+
+	var selected []int
+	inSel := make(map[int]bool)
+	for len(selected) < o.cfg.MaxSparsity {
+		j, corr := o.bestColumn(resid, inSel)
+		if j < 0 || corr == 0 {
+			break
+		}
+		selected = append(selected, j)
+		inSel[j] = true
+		if err := o.updateResidual(y, mean, selected, resid); err != nil {
+			return nil, err
+		}
+		if mat.VecNorm2Sq(resid) < xi {
+			break
+		}
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("loc: OMP selected no columns (zero measurement?)")
+	}
+	return selected, nil
+}
+
+// bestColumn returns the unselected column with the largest absolute
+// correlation with the residual.
+func (o *OMP) bestColumn(resid []float64, excluded map[int]bool) (int, float64) {
+	m, n := o.centered.Dims()
+	best, bestAbs := -1, 0.0
+	for j := 0; j < n; j++ {
+		if excluded[j] || o.colNorm[j] == 0 {
+			continue
+		}
+		var c float64
+		for i := 0; i < m; i++ {
+			c += o.centered.At(i, j) * resid[i]
+		}
+		if a := math.Abs(c); a > bestAbs {
+			best, bestAbs = j, a
+		}
+	}
+	return best, bestAbs
+}
+
+// updateResidual orthogonalizes y against the span of the selected
+// (centered) columns.
+func (o *OMP) updateResidual(y []float64, mean float64, selected []int, resid []float64) error {
+	m := len(y)
+	a := mat.New(m, len(selected))
+	for k, j := range selected {
+		for i := 0; i < m; i++ {
+			a.Set(i, k, o.centered.At(i, j))
+		}
+	}
+	target := make([]float64, m)
+	for i, v := range y {
+		target[i] = v - mean
+	}
+	w, err := mat.LeastSquares(a, target)
+	if err != nil {
+		return fmt.Errorf("loc: OMP least squares: %w", err)
+	}
+	approx := mat.MulVec(a, w)
+	for i := range resid {
+		resid[i] = target[i] - approx[i]
+	}
+	return nil
+}
+
+// OMPPoint couples an OMP matcher with the deployment grid to produce
+// continuous position estimates: the estimate is the weight centroid of
+// the pursued cells (negative weights clipped), which degrades gracefully
+// when the measurement falls between grid cells or the fingerprints carry
+// reconstruction noise.
+type OMPPoint struct {
+	OMP  *OMP
+	Grid geom.Grid
+}
+
+// NewOMPPoint builds a continuous-output OMP localizer.
+func NewOMPPoint(x *mat.Dense, grid geom.Grid, cfg OMPConfig) *OMPPoint {
+	return &OMPPoint{OMP: NewOMP(x, cfg), Grid: grid}
+}
+
+// LocatePoint returns the continuous position estimate for y.
+func (op *OMPPoint) LocatePoint(y []float64) (geom.Point, error) {
+	sel, w, err := op.OMP.PursueWeighted(y)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	var sumW, sx, sy float64
+	for k, j := range sel {
+		wk := w[k]
+		if wk <= 0 {
+			continue
+		}
+		c := op.Grid.Center(j)
+		sumW += wk
+		sx += wk * c.X
+		sy += wk * c.Y
+	}
+	if sumW == 0 {
+		return op.Grid.Center(sel[0]), nil
+	}
+	return geom.Point{X: sx / sumW, Y: sy / sumW}, nil
+}
+
+// Locate implements Localizer by snapping the continuous estimate to its
+// grid cell.
+func (op *OMPPoint) Locate(y []float64) (int, error) {
+	p, err := op.LocatePoint(y)
+	if err != nil {
+		return 0, err
+	}
+	if cell := op.Grid.CellAt(p); cell >= 0 {
+		return cell, nil
+	}
+	return op.OMP.Locate(y)
+}
+
+var _ Localizer = (*OMPPoint)(nil)
+
+// SparseRecover runs plain OMP sparse recovery for y = A*w with k-sparse
+// w over an arbitrary dictionary (no centering). It returns the selected
+// column indices and their least-squares coefficients. Exposed for
+// property tests and for callers that use OMP as a generic solver.
+func SparseRecover(a *mat.Dense, y []float64, k int, tol float64) ([]int, []float64, error) {
+	m, n := a.Dims()
+	if len(y) != m {
+		return nil, nil, fmt.Errorf("loc: dimension mismatch %d vs %d", len(y), m)
+	}
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("loc: sparsity %d out of range", k)
+	}
+	norms := mat.ColNorms(a)
+	resid := make([]float64, m)
+	copy(resid, y)
+	var sel []int
+	inSel := make(map[int]bool)
+	var coef []float64
+	for len(sel) < k {
+		best, bestAbs := -1, 0.0
+		for j := 0; j < n; j++ {
+			if inSel[j] || norms[j] == 0 {
+				continue
+			}
+			var c float64
+			for i := 0; i < m; i++ {
+				c += a.At(i, j) * resid[i]
+			}
+			c /= norms[j]
+			if ab := math.Abs(c); ab > bestAbs {
+				best, bestAbs = j, ab
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sel = append(sel, best)
+		inSel[best] = true
+		sub := a.SelectCols(sel)
+		w, err := mat.LeastSquares(sub, y)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loc: sparse recovery least squares: %w", err)
+		}
+		coef = w
+		approx := mat.MulVec(sub, w)
+		for i := range resid {
+			resid[i] = y[i] - approx[i]
+		}
+		if mat.VecNorm2Sq(resid) < tol {
+			break
+		}
+	}
+	if len(sel) == 0 {
+		return nil, nil, errors.New("loc: sparse recovery selected nothing")
+	}
+	return sel, coef, nil
+}

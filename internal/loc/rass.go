@@ -1,0 +1,105 @@
+package loc
+
+import (
+	"fmt"
+
+	"iupdater/internal/geom"
+	"iupdater/internal/mat"
+)
+
+// RASS reimplements the relevant core of the paper's state-of-the-art
+// comparison system (Zhang et al., "RASS: a real-time, accurate and
+// scalable system for tracking transceiver-free objects"): a Support
+// Vector Regression model mapping an RSS vector to target coordinates,
+// trained on the fingerprint database (one sample per grid cell). The
+// paper runs RASS both on the original ("RASS w/o rec.") and on the
+// iUpdater-reconstructed ("RASS w/ rec.") fingerprint matrix.
+type RASS struct {
+	grid geom.Grid
+	svrX *SVR
+	svrY *SVR
+}
+
+var _ Localizer = (*RASS)(nil)
+
+// NewRASS trains the two coordinate regressors on the columns of the
+// fingerprint matrix x (M links by N cells) laid out on the given grid.
+func NewRASS(x *mat.Dense, grid geom.Grid, cfg SVRConfig) (*RASS, error) {
+	m, n := x.Dims()
+	if n != grid.NumCells() || m != grid.Links {
+		return nil, fmt.Errorf("loc: RASS fingerprint %dx%d does not match grid %dx%d",
+			m, n, grid.Links, grid.NumCells())
+	}
+	// One training sample per cell: feature = RSS column, target = cell
+	// center coordinates.
+	feats := x.T()
+	tx := make([]float64, n)
+	ty := make([]float64, n)
+	for j := 0; j < n; j++ {
+		c := grid.Center(j)
+		tx[j], ty[j] = c.X, c.Y
+	}
+	// Epsilon in meters: a quarter cell is a good insensitive band.
+	along, across := grid.CellSize()
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.25 * minF(along, across)
+	}
+	svrX := NewSVR(cfg)
+	if err := svrX.Fit(feats, tx); err != nil {
+		return nil, fmt.Errorf("loc: training RASS x-regressor: %w", err)
+	}
+	svrY := NewSVR(cfg)
+	if err := svrY.Fit(feats, ty); err != nil {
+		return nil, fmt.Errorf("loc: training RASS y-regressor: %w", err)
+	}
+	return &RASS{grid: grid, svrX: svrX, svrY: svrY}, nil
+}
+
+// LocatePoint returns the regressed continuous position (alias of
+// Predict, satisfying the continuous-localizer interfaces).
+func (r *RASS) LocatePoint(y []float64) (geom.Point, error) { return r.Predict(y) }
+
+// Predict returns the regressed target position, clamped to the area.
+func (r *RASS) Predict(y []float64) (geom.Point, error) {
+	px, err := r.svrX.Predict(y)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	py, err := r.svrY.Predict(y)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	p := geom.Point{X: px, Y: py}
+	if p.X < 0 {
+		p.X = 0
+	} else if p.X >= r.grid.Width {
+		p.X = r.grid.Width - 1e-9
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	} else if p.Y >= r.grid.Height {
+		p.Y = r.grid.Height - 1e-9
+	}
+	return p, nil
+}
+
+// Locate implements Localizer by snapping the regressed position to its
+// grid cell.
+func (r *RASS) Locate(y []float64) (int, error) {
+	p, err := r.Predict(y)
+	if err != nil {
+		return 0, err
+	}
+	cell := r.grid.CellAt(p)
+	if cell < 0 {
+		return 0, fmt.Errorf("loc: RASS prediction %v fell outside the area", p)
+	}
+	return cell, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

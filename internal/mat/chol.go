@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds a lower-triangular Cholesky factor: A = L*Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive-definite matrix a. Only the lower triangle of a is read.
+// ErrSingular is returned when a is not positive definite.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: FactorCholesky requires a square matrix, got %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			d += l.data[j*n+k] * l.data[j*n+k]
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = (a.data[i*n+j] - s) / ljj
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// SolveVec solves A*x = b using the factorization.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky SolveVec length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: L*y = b.
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += c.l.data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.data[i*n+i]
+	}
+	// Backward: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += c.l.data[j*n+i] * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A*X = B column by column.
+func (c *Cholesky) Solve(b *Dense) *Dense {
+	out := New(b.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		out.SetCol(j, c.SolveVec(b.Col(j)))
+	}
+	return out
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// SolveSPD solves the symmetric positive-definite system a*x = b, falling
+// back to LU if a is not numerically positive definite.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	if c, err := FactorCholesky(a); err == nil {
+		return c.SolveVec(b), nil
+	}
+	return Solve(a, b)
+}

@@ -1,0 +1,36 @@
+package mat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// denseWire is the serialized form of Dense.
+type denseWire struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Dense) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(denseWire{Rows: m.rows, Cols: m.cols, Data: m.data})
+	if err != nil {
+		return nil, fmt.Errorf("mat: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Dense) GobDecode(b []byte) error {
+	var w denseWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("mat: gob decode: %w", err)
+	}
+	if w.Rows <= 0 || w.Cols <= 0 || len(w.Data) != w.Rows*w.Cols {
+		return fmt.Errorf("mat: gob decode: inconsistent wire data %dx%d with %d values", w.Rows, w.Cols, len(w.Data))
+	}
+	m.rows, m.cols, m.data = w.Rows, w.Cols, w.Data
+	return nil
+}

@@ -1,0 +1,64 @@
+package mat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	in := Random(5, 9, rng)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Dense
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !in.Equal(&out) {
+		t.Error("matrix did not round-trip")
+	}
+}
+
+func TestGobDecodeRejectsInconsistentWire(t *testing.T) {
+	// Encode a struct with mismatched dims/data length via the wire type.
+	var buf bytes.Buffer
+	bad := denseWire{Rows: 2, Cols: 3, Data: []float64{1, 2}}
+	if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	var out Dense
+	if err := out.GobDecode(buf.Bytes()); err == nil {
+		t.Error("inconsistent wire data accepted")
+	}
+}
+
+func TestGobDecodeRejectsGarbage(t *testing.T) {
+	var out Dense
+	if err := out.GobDecode([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestGobRoundTripInsideStruct(t *testing.T) {
+	type wrapper struct {
+		Name string
+		M    *Dense
+	}
+	rng := rand.New(rand.NewSource(72))
+	in := wrapper{Name: "db", M: Random(3, 4, rng)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out wrapper
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "db" || !in.M.Equal(out.M) {
+		t.Error("wrapped matrix did not round-trip")
+	}
+}

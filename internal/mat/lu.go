@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu    *Dense // packed L (unit lower) and U
+	pivot []int  // row permutation
+	signP int    // permutation sign, for determinants
+}
+
+// FactorLU computes the LU factorization of the square matrix a with
+// partial pivoting.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: FactorLU requires a square matrix, got %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.data[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		pivot[k] = p
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			sign = -sign
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		pivKK := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			lu.data[i*n+k] /= pivKK
+			lik := lu.data[i*n+k]
+			if lik == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= lik * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, signP: sign}, nil
+}
+
+// SolveVec solves A*x = b for x.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: LU SolveVec length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.data[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.data[i*n+j] * x[j]
+		}
+		d := f.lu.data[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// Solve solves A*X = B column by column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	if b.rows != f.lu.rows {
+		panic(fmt.Sprintf("mat: LU Solve dimension mismatch %d vs %d", b.rows, f.lu.rows))
+	}
+	out := New(b.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, x)
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := float64(f.signP)
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Solve solves the square linear system a*x = b.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// SolveMatrix solves a*X = B for the square matrix a.
+func SolveMatrix(a, b *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns a⁻¹ for the square matrix a.
+func Inverse(a *Dense) (*Dense, error) {
+	return SolveMatrix(a, Identity(a.rows))
+}
+
+// Det returns the determinant of a square matrix, or 0 if it is exactly
+// singular.
+func Det(a *Dense) float64 {
+	f, err := FactorLU(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}

@@ -1,0 +1,269 @@
+package mat
+
+import "fmt"
+
+// AddM returns a + b.
+func AddM(a, b *Dense) *Dense {
+	checkSameDims("AddM", a, b)
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// SubM returns a - b.
+func SubM(a, b *Dense) *Dense {
+	checkSameDims("SubM", a, b)
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a .* b.
+func Hadamard(a, b *Dense) *Dense {
+	checkSameDims("Hadamard", a, b)
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product a * b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	// ikj loop order keeps the inner loop contiguous for both b and out.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTA returns aᵀ * b without materializing the transpose.
+func MulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulTA dimension mismatch %dx%d ᵀ* %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTB returns a * bᵀ without materializing the transpose.
+func MulTB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTB dimension mismatch %dx%d *ᵀ %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			out.data[i*out.cols+j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a * x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for k, av := range arow {
+			s += av * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns aᵀ * x.
+func MulVecT(a *Dense, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: MulVecT dimension mismatch %dx%dᵀ * %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, av := range arow {
+			out[j] += av * xi
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product x * yᵀ.
+func Outer(x, y []float64) *Dense {
+	out := New(len(x), len(y))
+	for i, xv := range x {
+		for j, yv := range y {
+			out.data[i*out.cols+j] = xv * yv
+		}
+	}
+	return out
+}
+
+// HStack returns [a | b], the horizontal concatenation of a and b.
+func HStack(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", a.rows, b.rows))
+	}
+	out := New(a.rows, a.cols+b.cols)
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*out.cols:], a.data[i*a.cols:(i+1)*a.cols])
+		copy(out.data[i*out.cols+a.cols:], b.data[i*b.cols:(i+1)*b.cols])
+	}
+	return out
+}
+
+// VStack returns the vertical concatenation of a on top of b.
+func VStack(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", a.cols, b.cols))
+	}
+	out := New(a.rows+b.rows, a.cols)
+	copy(out.data, a.data)
+	copy(out.data[len(a.data):], b.data)
+	return out
+}
+
+// Apply returns a new matrix whose elements are f(i, j, m[i][j]).
+func (m *Dense) Apply(f func(i, j int, v float64) float64) *Dense {
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[i*m.cols+j] = f(i, j, m.data[i*m.cols+j])
+		}
+	}
+	return out
+}
+
+// Max returns the maximum element value.
+func (m *Dense) Max() float64 {
+	max := m.data[0]
+	for _, v := range m.data[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the minimum element value.
+func (m *Dense) Min() float64 {
+	min := m.data[0]
+	for _, v := range m.data[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MaxAbs returns the maximum absolute element value.
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements.
+func (m *Dense) Mean() float64 { return m.Sum() / float64(len(m.data)) }
+
+// ColSums returns the per-column sums.
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowSums returns the per-row sums.
+func (m *Dense) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func checkSameDims(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}

@@ -1,0 +1,208 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickMatrix draws a random matrix with bounded dimensions and entries,
+// suitable for testing/quick generators.
+func quickMatrix(rng *rand.Rand, maxDim int) *Dense {
+	r := 1 + rng.Intn(maxDim)
+	c := 1 + rng.Intn(maxDim)
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64() * 3
+	}
+	return m
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		return a.T().T().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		b := New(a.rows, a.cols)
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		return AddM(a, b).EqualApprox(AddM(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulTransposeIdentity(t *testing.T) {
+	// (A*B)ᵀ == Bᵀ*Aᵀ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := RandomNormal(m, k, rng)
+		b := RandomNormal(k, n, rng)
+		return Mul(a, b).T().EqualApprox(Mul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFrobeniusTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		b := New(a.rows, a.cols)
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		return FrobeniusNorm(AddM(a, b)) <= FrobeniusNorm(a)+FrobeniusNorm(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNuclearDominatesFrobenius(t *testing.T) {
+	// ||A||_* >= ||A||_F for every matrix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 8)
+		return NuclearNorm(a) >= FrobeniusNorm(a)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSVDReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		return FactorSVD(a).Reconstruct().EqualApprox(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSVDOperatorNormBound(t *testing.T) {
+	// ||A x||₂ <= s_max ||x||₂ for all x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 8)
+		x := make([]float64, a.cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		s := SingularValues(a)
+		return VecNorm2(MulVec(a, x)) <= s[0]*VecNorm2(x)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLUSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := RandomNormal(n, n, rng)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(2*n)) // well conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r := MulVec(a, x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSVTNonExpansive(t *testing.T) {
+	// Proximal operators are non-expansive:
+	// ||prox(A) - prox(B)||F <= ||A - B||F.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 2 + rng.Intn(5)
+		c := 2 + rng.Intn(5)
+		a := RandomNormal(r, c, rng)
+		b := RandomNormal(r, c, rng)
+		tau := rng.Float64() * 2
+		d1 := FrobeniusNorm(SubM(SVT(a, tau), SVT(b, tau)))
+		d2 := FrobeniusNorm(SubM(a, b))
+		return d1 <= d2+1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShrink21NonExpansive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 2 + rng.Intn(5)
+		c := 2 + rng.Intn(5)
+		a := RandomNormal(r, c, rng)
+		b := RandomNormal(r, c, rng)
+		tau := rng.Float64() * 2
+		d1 := FrobeniusNorm(SubM(ShrinkColumns21(a, tau), ShrinkColumns21(b, tau)))
+		d2 := FrobeniusNorm(SubM(a, b))
+		return d1 <= d2+1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRankBoundedByDims(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		r := Rank(a, 0)
+		return r >= 0 && r <= minInt(a.rows, a.cols)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQRCPRankMatchesSVDRank(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		n := 2 + rng.Intn(10)
+		r := 1 + rng.Intn(minInt(m, n))
+		a := Mul(RandomNormal(m, r, rng), RandomNormal(r, n, rng))
+		return FactorQRCP(a).Rank(1e-8) == Rank(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

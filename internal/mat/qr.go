@@ -1,0 +1,241 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R with A of size m x n,
+// m >= n, Q of size m x n (thin) and R of size n x n upper triangular.
+type QR struct {
+	q *Dense
+	r *Dense
+}
+
+// FactorQR computes the thin QR factorization of a (rows >= cols) using
+// Householder reflections.
+func FactorQR(a *Dense) *QR {
+	m, n := a.rows, a.cols
+	if m < n {
+		panic(fmt.Sprintf("mat: FactorQR requires rows >= cols, got %dx%d", m, n))
+	}
+	r := a.Clone()
+	// Accumulate Q explicitly; matrices here are small.
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.data[i*n+k] * r.data[i*n+k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.data[k*n+k] < 0 {
+			alpha = norm
+		}
+		for i := 0; i < k; i++ {
+			v[i] = 0
+		}
+		v[k] = r.data[k*n+k] - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = r.data[i*n+k]
+		}
+		vnorm2 := VecNorm2Sq(v[k:])
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := 2 / vnorm2
+		// R <- (I - beta v vᵀ) R, touching rows k..m-1 only.
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i] * r.data[i*n+j]
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				r.data[i*n+j] -= s * v[i]
+			}
+		}
+		// Q <- Q (I - beta v vᵀ).
+		for i := 0; i < m; i++ {
+			var s float64
+			for j := k; j < m; j++ {
+				s += q.data[i*m+j] * v[j]
+			}
+			s *= beta
+			for j := k; j < m; j++ {
+				q.data[i*m+j] -= s * v[j]
+			}
+		}
+	}
+	return &QR{
+		q: q.Submatrix(0, m, 0, n),
+		r: r.Submatrix(0, n, 0, n),
+	}
+}
+
+// Q returns a copy of the thin orthonormal factor.
+func (f *QR) Q() *Dense { return f.q.Clone() }
+
+// R returns a copy of the upper-triangular factor.
+func (f *QR) R() *Dense { return f.r.Clone() }
+
+// SolveVec solves the least-squares problem min ||A*x - b||₂ via
+// R*x = Qᵀ*b.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.q.rows, f.q.cols
+	if len(b) != m {
+		panic(fmt.Sprintf("mat: QR SolveVec length %d, want %d", len(b), m))
+	}
+	qtb := MulVecT(f.q, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.r.data[i*n+j] * x[j]
+		}
+		d := f.r.data[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (qtb[i] - s) / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a*x - b||₂ for overdetermined a.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	return FactorQR(a).SolveVec(b)
+}
+
+// QRCP holds a QR factorization with column pivoting: A*P = Q*R where P is
+// a column permutation encoded by Perm (Perm[k] is the index of the
+// original column in position k).
+type QRCP struct {
+	Perm     []int
+	RDiag    []float64 // |diagonal of R|, non-increasing
+	NumRows  int
+	NumCols  int
+	rangeTol float64
+}
+
+// FactorQRCP computes a rank-revealing QR factorization with column
+// pivoting. It is the numerically robust way to find a maximum set of
+// independent columns of a noisy matrix: the first rank(A) entries of Perm
+// index the most independent columns.
+func FactorQRCP(a *Dense) *QRCP {
+	m, n := a.rows, a.cols
+	work := a.Clone()
+	perm := make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	colNorm2 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			colNorm2[j] += work.data[i*n+j] * work.data[i*n+j]
+		}
+	}
+	steps := m
+	if n < m {
+		steps = n
+	}
+	rdiag := make([]float64, steps)
+	v := make([]float64, m)
+	for k := 0; k < steps; k++ {
+		// Pick the column with the largest remaining norm.
+		p := k
+		for j := k + 1; j < n; j++ {
+			if colNorm2[j] > colNorm2[p] {
+				p = j
+			}
+		}
+		if p != k {
+			perm[k], perm[p] = perm[p], perm[k]
+			colNorm2[k], colNorm2[p] = colNorm2[p], colNorm2[k]
+			for i := 0; i < m; i++ {
+				work.data[i*n+k], work.data[i*n+p] = work.data[i*n+p], work.data[i*n+k]
+			}
+		}
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += work.data[i*n+k] * work.data[i*n+k]
+		}
+		norm = math.Sqrt(norm)
+		rdiag[k] = norm
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if work.data[k*n+k] < 0 {
+			alpha = norm
+		}
+		v[k] = work.data[k*n+k] - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = work.data[i*n+k]
+		}
+		vnorm2 := VecNorm2Sq(v[k:m])
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := 2 / vnorm2
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i] * work.data[i*n+j]
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				work.data[i*n+j] -= s * v[i]
+			}
+		}
+		// Downdate remaining column norms.
+		for j := k + 1; j < n; j++ {
+			colNorm2[j] -= work.data[k*n+j] * work.data[k*n+j]
+			if colNorm2[j] < 0 {
+				colNorm2[j] = 0
+			}
+		}
+	}
+	return &QRCP{Perm: perm, RDiag: rdiag, NumRows: m, NumCols: n}
+}
+
+// Rank estimates the numerical rank using a relative tolerance on the
+// R diagonal. A tol of 0 selects a default relative tolerance.
+func (f *QRCP) Rank(tol float64) int {
+	if len(f.RDiag) == 0 || f.RDiag[0] == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-10 * float64(maxInt(f.NumRows, f.NumCols))
+	}
+	r := 0
+	for _, d := range f.RDiag {
+		if d > tol*f.RDiag[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// IndependentCols returns the indices (in original column numbering) of
+// the k most independent columns discovered by the pivoting.
+func (f *QRCP) IndependentCols(k int) []int {
+	if k <= 0 || k > len(f.RDiag) {
+		panic(fmt.Sprintf("mat: IndependentCols k=%d out of range 1..%d", k, len(f.RDiag)))
+	}
+	out := make([]int, k)
+	copy(out, f.Perm[:k])
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

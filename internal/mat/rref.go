@@ -1,0 +1,79 @@
+package mat
+
+import "math"
+
+// RREFResult holds a reduced row echelon form and its pivot columns.
+type RREFResult struct {
+	R      *Dense // the RREF matrix
+	Pivots []int  // pivot column indices, one per non-zero row
+}
+
+// RREF computes the reduced row echelon form of a with partial pivoting
+// and a relative tolerance. The pivot columns of the RREF identify a
+// maximum set of linearly independent columns of a — the paper's "maximum
+// independent column (MIC) vectors" — because elementary row operations
+// preserve column dependence relations.
+//
+// tol <= 0 selects a default relative tolerance scaled by the largest
+// absolute entry of a.
+func RREF(a *Dense, tol float64) *RREFResult {
+	r := a.Clone()
+	m, n := r.rows, r.cols
+	if tol <= 0 {
+		tol = 1e-10 * float64(maxInt(m, n))
+	}
+	scale := r.MaxAbs()
+	if scale == 0 {
+		return &RREFResult{R: r, Pivots: nil}
+	}
+	thresh := tol * scale
+
+	var pivots []int
+	row := 0
+	for col := 0; col < n && row < m; col++ {
+		// Find the largest entry in this column at or below row.
+		p := row
+		max := math.Abs(r.data[row*n+col])
+		for i := row + 1; i < m; i++ {
+			if v := math.Abs(r.data[i*n+col]); v > max {
+				max, p = v, i
+			}
+		}
+		if max <= thresh {
+			// Column is (numerically) dependent on earlier pivots.
+			for i := row; i < m; i++ {
+				r.data[i*n+col] = 0
+			}
+			continue
+		}
+		if p != row {
+			rp := r.data[p*n : (p+1)*n]
+			rr := r.data[row*n : (row+1)*n]
+			for j := range rp {
+				rp[j], rr[j] = rr[j], rp[j]
+			}
+		}
+		// Normalize the pivot row.
+		piv := r.data[row*n+col]
+		for j := col; j < n; j++ {
+			r.data[row*n+j] /= piv
+		}
+		// Eliminate the column everywhere else.
+		for i := 0; i < m; i++ {
+			if i == row {
+				continue
+			}
+			factor := r.data[i*n+col]
+			if factor == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				r.data[i*n+j] -= factor * r.data[row*n+j]
+			}
+			r.data[i*n+col] = 0
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return &RREFResult{R: r, Pivots: pivots}
+}

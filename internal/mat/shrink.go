@@ -1,0 +1,73 @@
+package mat
+
+import "math"
+
+// SVT applies singular value thresholding: the proximal operator of the
+// nuclear norm. It returns U * max(S - tau, 0) * Vᵀ, the solution of
+//
+//	argmin_X  tau*||X||_* + 1/2*||X - a||_F²
+//
+// which is the J-subproblem of the inexact-ALM solver for low-rank
+// representation (Eqn 12 of the paper).
+func SVT(a *Dense, tau float64) *Dense {
+	f := FactorSVD(a)
+	out := New(a.rows, a.cols)
+	for t, sv := range f.S {
+		shrunk := sv - tau
+		if shrunk <= 0 {
+			break // singular values are sorted; all later ones shrink to 0
+		}
+		ut := f.U.Col(t)
+		vt := f.V.Col(t)
+		for i := 0; i < a.rows; i++ {
+			if ut[i] == 0 {
+				continue
+			}
+			scale := shrunk * ut[i]
+			row := out.data[i*a.cols : (i+1)*a.cols]
+			for j := 0; j < a.cols; j++ {
+				row[j] += scale * vt[j]
+			}
+		}
+	}
+	return out
+}
+
+// ShrinkColumns21 applies the proximal operator of tau*||.||_{2,1}: each
+// column c of a is scaled by max(0, 1 - tau/||c||₂). Columns with norm
+// below tau collapse to zero. This is the E-subproblem of the inexact-ALM
+// solver for low-rank representation.
+func ShrinkColumns21(a *Dense, tau float64) *Dense {
+	out := New(a.rows, a.cols)
+	for j := 0; j < a.cols; j++ {
+		var norm float64
+		for i := 0; i < a.rows; i++ {
+			v := a.data[i*a.cols+j]
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm <= tau {
+			continue
+		}
+		scale := (norm - tau) / norm
+		for i := 0; i < a.rows; i++ {
+			out.data[i*a.cols+j] = a.data[i*a.cols+j] * scale
+		}
+	}
+	return out
+}
+
+// SoftThreshold applies element-wise soft thresholding
+// sign(v) * max(|v| - tau, 0), the proximal operator of the l1 norm.
+func SoftThreshold(a *Dense, tau float64) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		switch {
+		case v > tau:
+			out.data[i] = v - tau
+		case v < -tau:
+			out.data[i] = v + tau
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := Diagonal([]float64{3, 1, 2})
+	s := SingularValues(a)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 1e-12 {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := []struct{ m, n int }{
+		{4, 4}, {8, 3}, {3, 8}, {8, 94}, {6, 72}, {1, 5}, {5, 1},
+	}
+	for _, sh := range shapes {
+		a := Random(sh.m, sh.n, rng)
+		f := FactorSVD(a)
+		if !f.Reconstruct().EqualApprox(a, 1e-9) {
+			t.Errorf("%dx%d: U S Vᵀ != A", sh.m, sh.n)
+		}
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := Random(6, 9, rng)
+	f := FactorSVD(a)
+	k := 6
+	if !MulTA(f.U, f.U).EqualApprox(Identity(k), 1e-9) {
+		t.Error("UᵀU != I")
+	}
+	if !MulTA(f.V, f.V).EqualApprox(Identity(k), 1e-9) {
+		t.Error("VᵀV != I")
+	}
+}
+
+func TestSVDSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := Random(7, 5, rng)
+	s := SingularValues(a)
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1]+1e-15 {
+			t.Errorf("singular values not sorted: s[%d]=%v > s[%d]=%v", i, s[i], i-1, s[i-1])
+		}
+	}
+	for _, v := range s {
+		if v < 0 {
+			t.Errorf("negative singular value %v", v)
+		}
+	}
+}
+
+func TestSVDMatchesFrobenius(t *testing.T) {
+	// ||A||F² = sum of squared singular values.
+	rng := rand.New(rand.NewSource(24))
+	a := Random(5, 8, rng)
+	s := SingularValues(a)
+	var ssq float64
+	for _, v := range s {
+		ssq += v * v
+	}
+	if f := FrobeniusNormSq(a); math.Abs(ssq-f) > 1e-9*f {
+		t.Errorf("sum s² = %v, ||A||F² = %v", ssq, f)
+	}
+}
+
+func TestRankExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	tests := []struct {
+		m, n, r int
+	}{
+		{8, 94, 3}, {8, 94, 8}, {10, 10, 1}, {6, 72, 5},
+	}
+	for _, tt := range tests {
+		l := Random(tt.m, tt.r, rng)
+		r := Random(tt.r, tt.n, rng)
+		a := Mul(l, r)
+		if got := Rank(a, 1e-8); got != tt.r {
+			t.Errorf("Rank(%dx%d rank-%d) = %d", tt.m, tt.n, tt.r, got)
+		}
+	}
+}
+
+func TestTruncatedSVDIsBestApproximation(t *testing.T) {
+	// Eckart-Young: error of the rank-k truncation equals
+	// sqrt(sum of squared discarded singular values).
+	rng := rand.New(rand.NewSource(26))
+	a := Random(6, 10, rng)
+	s := SingularValues(a)
+	for k := 1; k < 6; k++ {
+		ak := TruncatedSVD(a, k)
+		var wantSq float64
+		for _, v := range s[k:] {
+			wantSq += v * v
+		}
+		got := FrobeniusNorm(SubM(a, ak))
+		if math.Abs(got-math.Sqrt(wantSq)) > 1e-9 {
+			t.Errorf("k=%d: ||A-Ak|| = %v, want %v", k, got, math.Sqrt(wantSq))
+		}
+	}
+}
+
+func TestTruncatedSVDFullRankIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	a := Random(4, 7, rng)
+	if !TruncatedSVD(a, 10).EqualApprox(a, 1e-9) {
+		t.Error("full-rank truncation != A")
+	}
+}
+
+func TestCond(t *testing.T) {
+	if got := Cond(Identity(4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cond(I) = %v, want 1", got)
+	}
+	a := Diagonal([]float64{10, 1, 0.1})
+	if got := Cond(a); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Cond = %v, want 100", got)
+	}
+	sing := NewFromRows([][]float64{{1, 1}, {1, 1}})
+	if got := Cond(sing); !math.IsInf(got, 1) {
+		t.Errorf("Cond(singular) = %v, want +Inf", got)
+	}
+}
+
+func TestNuclearNorm(t *testing.T) {
+	a := Diagonal([]float64{3, 2, 1})
+	if got := NuclearNorm(a); math.Abs(got-6) > 1e-10 {
+		t.Errorf("NuclearNorm = %v, want 6", got)
+	}
+}

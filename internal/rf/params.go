@@ -1,0 +1,160 @@
+// Package rf models the radio layer of the testbed: log-distance path
+// loss, static per-link multipath, the knife-edge diffraction effect of a
+// device-free human target, short-term RSS variation (Fig 1 of the paper)
+// and long-term drift (Fig 2). All quantities are in dB/dBm and the model
+// is fully deterministic given a seed, so every experiment is
+// reproducible.
+package rf
+
+// Params configures the radio model. The zero value is not useful; start
+// from DefaultParams and adjust.
+type Params struct {
+	// WavelengthM is the carrier wavelength in meters (2.4 GHz Wi-Fi by
+	// default).
+	WavelengthM float64
+	// TXPowerDBm is the transmit power.
+	TXPowerDBm float64
+	// RefLossDB is the fixed system loss at the 1 m reference distance
+	// (free-space reference loss plus antenna/cable losses).
+	RefLossDB float64
+	// PathLossExp is the log-distance path-loss exponent (≈2 free space,
+	// higher indoors).
+	PathLossExp float64
+
+	// MultipathSigmaDB is the standard deviation of the static per-link
+	// multipath fading offset. Rich-multipath environments are larger.
+	MultipathSigmaDB float64
+	// OddLinkOffsetDB is an extra RF-gain offset applied to one randomly
+	// chosen link per deployment: COTS fleets are rarely homogeneous, and
+	// one odd unit is what stretches the adjacent-link difference range
+	// in the paper's Fig 9 (see also their footnote 3 on calibrating out
+	// hardware differences).
+	OddLinkOffsetDB float64
+
+	// TargetRadiusM is the effective obstruction radius of the human
+	// target (the paper's target is a 1.72 m person; at 1 m transceiver
+	// height the torso cross-section dominates).
+	TargetRadiusM float64
+	// TargetAsymmetry tilts the target effect along the link: the loss is
+	// scaled by (1 + a*(2t-1)) where t is the normalized TX->RX position.
+	// Physical links are not symmetric (AP and client antenna patterns
+	// differ), which is what makes the along-link position identifiable
+	// from a single RSS column.
+	TargetAsymmetry float64
+	// ShadowWidthM is the Gaussian lateral width of the body-shadowing
+	// main lobe (the Wilson-Patwari radio-tomography weighting): how fast
+	// the on-line knife-edge depth decays as the target moves off the
+	// direct path.
+	ShadowWidthM float64
+	// ScatterPeakDB is the peak extra attenuation from target-induced
+	// scattering for a target standing adjacent to (but not inside) the
+	// first Fresnel zone.
+	ScatterPeakDB float64
+	// ScatterSigmaM is the lateral decay scale of the scattering effect.
+	ScatterSigmaM float64
+	// TargetPerturbSigmaDB scales the static multipath-dependent
+	// perturbation of the target effect (what makes two environments with
+	// the same geometry fingerprint differently).
+	TargetPerturbSigmaDB float64
+	// PerturbCorrLenM is the spatial correlation length of the target
+	// perturbation field along the link, in meters. Nearby positions have
+	// similar multipath signatures (the physical basis of the paper's
+	// Observation 2); positions a cell apart are mostly decorrelated,
+	// which is what makes per-cell fingerprints discriminative.
+	PerturbCorrLenM float64
+	// EffectFloorDB is the magnitude below which a target effect is
+	// treated as zero — the "no RSS decrease" class of Fig 4 that can be
+	// measured without the target present.
+	EffectFloorDB float64
+
+	// NoiseCommonSigmaDB is the std of the common-mode short-term noise
+	// shared by all links (interference, rotating fans, people far away).
+	NoiseCommonSigmaDB float64
+	// NoiseCommonScaleS is the correlation time of the common-mode noise
+	// in seconds.
+	NoiseCommonScaleS float64
+	// NoiseIdioSigmaDB is the std of per-link white measurement noise.
+	NoiseIdioSigmaDB float64
+	// BurstProb is the probability that any given burst window contains an
+	// interference burst.
+	BurstProb float64
+	// BurstWindowS is the burst window length in seconds.
+	BurstWindowS float64
+	// BurstDepthDB is the maximum extra attenuation during a burst.
+	BurstDepthDB float64
+	// AmbientProb is the probability that any given ambient window has an
+	// unrelated person moving near one of the links (the paper's testbeds
+	// are live environments). The perturbation hits a single random link,
+	// which is what occasionally defeats even a fresh fingerprint match.
+	AmbientProb float64
+	// AmbientWindowS is the ambient event window length in seconds.
+	AmbientWindowS float64
+	// AmbientDepthDB is the maximum ambient perturbation depth.
+	AmbientDepthDB float64
+
+	// DriftSigmaInfDB is the stationary standard deviation of the
+	// Ornstein-Uhlenbeck long-term drift per link.
+	DriftSigmaInfDB float64
+	// TargetDriftSigmaDB is the stationary std of the slow *spatial*
+	// drift of the target effect along each link (temperature and
+	// humidity reshape the multipath interaction, not just the link
+	// gain). It varies smoothly along the strip, which is why RSS
+	// *differences* between neighboring locations stay stable while the
+	// fingerprints themselves go stale (Observations 2 and 3).
+	TargetDriftSigmaDB float64
+	// DriftTauHours is the OU relaxation time in hours.
+	DriftTauHours float64
+	// DriftCorr is the correlation between links' drift processes
+	// (temperature and humidity move all links together).
+	DriftCorr float64
+
+	// QuantStepDB is the RSS reporting granularity; 0 disables
+	// quantization.
+	QuantStepDB float64
+}
+
+// DefaultParams returns the office-like calibration used throughout the
+// paper reproduction. The drift constants are calibrated so that the mean
+// absolute RSS shift is ≈2.5 dB after 5 days and ≈6 dB after 45 days
+// (Fig 2), and the short-term model produces ≈5 dB peak-to-peak excursions
+// over 100 s (Fig 1).
+func DefaultParams() Params {
+	return Params{
+		WavelengthM: 0.125, // 2.4 GHz
+		TXPowerDBm:  15,
+		RefLossDB:   50,
+		PathLossExp: 2.8,
+
+		MultipathSigmaDB: 0.8,
+		OddLinkOffsetDB:  7,
+
+		TargetRadiusM:        0.45,
+		TargetAsymmetry:      0.25,
+		ShadowWidthM:         0.7,
+		ScatterPeakDB:        3.0,
+		ScatterSigmaM:        1.3,
+		TargetPerturbSigmaDB: 1.5,
+		PerturbCorrLenM:      1.0,
+		EffectFloorDB:        0.5,
+
+		NoiseCommonSigmaDB: 0.85,
+		NoiseCommonScaleS:  1.2,
+		NoiseIdioSigmaDB:   0.45,
+		BurstProb:          0.18,
+		BurstWindowS:       10,
+		BurstDepthDB:       2.8,
+		AmbientProb:        0.2,
+		AmbientWindowS:     30,
+		AmbientDepthDB:     3,
+
+		// Zero-start OU with tau = 75 days and sigma_inf = 9 gives
+		// E|shift| = sqrt(2/pi)*sigma*sqrt(1-exp(-2t/tau)):
+		// ≈2.4 dB at 5 days and ≈6.0 dB at 45 days (Fig 2).
+		DriftSigmaInfDB:    9.0,
+		TargetDriftSigmaDB: 1.0,
+		DriftTauHours:      75 * 24,
+		DriftCorr:          0.88,
+
+		QuantStepDB: 0.5,
+	}
+}

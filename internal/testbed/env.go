@@ -1,0 +1,119 @@
+// Package testbed simulates the paper's three deployment environments and
+// the human survey campaigns that build and refresh fingerprint databases,
+// including the labor-cost accounting of Section VI-C.
+package testbed
+
+import (
+	"fmt"
+
+	"iupdater/internal/geom"
+	"iupdater/internal/rf"
+)
+
+// Environment describes one deployment: geometry plus radio calibration.
+type Environment struct {
+	// Name identifies the environment ("office", "library", "hall").
+	Name string
+	// Multipath is a human-readable multipath richness label.
+	Multipath string
+	// Grid is the strip-major deployment grid.
+	Grid geom.Grid
+	// Radio is the calibrated radio parameter set.
+	Radio rf.Params
+}
+
+// NumLinks returns M.
+func (e Environment) NumLinks() int { return e.Grid.Links }
+
+// NumCells returns N.
+func (e Environment) NumCells() int { return e.Grid.NumCells() }
+
+// String implements fmt.Stringer.
+func (e Environment) String() string {
+	return fmt.Sprintf("%s (%s multipath, %d links x %d cells)",
+		e.Name, e.Multipath, e.NumLinks(), e.NumCells())
+}
+
+// Office returns the paper's office environment: 9 m x 12 m, desks and
+// cubicles (medium multipath, mixed LoS/NLoS), 8 links. The paper surveys
+// 94 effective grid cells; we use 96 = 8 strips x 12 cells so that
+// N = M*(N/M) holds exactly as Definition 2 assumes.
+func Office() Environment {
+	p := rf.DefaultParams()
+	p.PathLossExp = 2.8
+	p.MultipathSigmaDB = 0.8
+	p.TargetPerturbSigmaDB = 1.5
+	p.TargetDriftSigmaDB = 1.0
+	p.NoiseCommonSigmaDB = 0.85
+	p.NoiseIdioSigmaDB = 0.45
+	return Environment{
+		Name:      "office",
+		Multipath: "medium",
+		Grid:      geom.NewGrid(12, 9, 8, 12),
+		Radio:     p,
+	}
+}
+
+// Library returns the paper's library environment: 8 m x 11 m, metal
+// bookshelves full of books (high multipath, rich NLoS), 6 links, 72 grid
+// cells (6 strips x 12 cells, matching the paper exactly).
+func Library() Environment {
+	p := rf.DefaultParams()
+	p.PathLossExp = 3.3
+	p.MultipathSigmaDB = 1.3
+	p.TargetPerturbSigmaDB = 2.4
+	p.TargetDriftSigmaDB = 1.6
+	p.NoiseCommonSigmaDB = 1.0
+	p.NoiseIdioSigmaDB = 0.6
+	return Environment{
+		Name:      "library",
+		Multipath: "high",
+		Grid:      geom.NewGrid(11, 8, 6, 12),
+		Radio:     p,
+	}
+}
+
+// Hall returns the paper's empty-hall environment: 10 m x 10 m, mostly
+// LoS (low multipath), 8 links, 120 grid cells (8 strips x 15 cells,
+// matching the paper exactly).
+func Hall() Environment {
+	p := rf.DefaultParams()
+	p.PathLossExp = 2.1
+	p.MultipathSigmaDB = 0.5
+	p.TargetPerturbSigmaDB = 0.8
+	p.TargetDriftSigmaDB = 0.6
+	p.NoiseCommonSigmaDB = 0.75
+	p.NoiseIdioSigmaDB = 0.35
+	return Environment{
+		Name:      "hall",
+		Multipath: "low",
+		Grid:      geom.NewGrid(10, 10, 8, 15),
+		Radio:     p,
+	}
+}
+
+// Environments returns the paper's three environments in evaluation order.
+func Environments() []Environment {
+	return []Environment{Hall(), Office(), Library()}
+}
+
+// Day is one day in seconds, the time unit of the survey schedule.
+const Day = 86400.0
+
+// Timestamps returns the six canonical survey times of the paper's
+// three-month study: original, 3 days, 5 days, 15 days, 45 days, 3 months.
+func Timestamps() []float64 {
+	return []float64{0, 3 * Day, 5 * Day, 15 * Day, 45 * Day, 90 * Day}
+}
+
+// TimestampLabels returns display labels matching Timestamps.
+func TimestampLabels() []string {
+	return []string{"original", "3 days", "5 days", "15 days", "45 days", "3 months"}
+}
+
+// UpdateTimestamps returns the five post-original survey times used in the
+// reconstruction figures (Figs 15-19, 22, 24).
+func UpdateTimestamps() []float64 { return Timestamps()[1:] }
+
+// UpdateTimestampLabels returns display labels matching UpdateTimestamps.
+func UpdateTimestampLabels() []string { return TimestampLabels()[1:] }

@@ -1,0 +1,54 @@
+package testbed
+
+// Labor-cost model of §VI-C and Fig 20. All returns are in seconds unless
+// stated otherwise.
+
+// TraditionalUpdateSeconds returns the labor to refresh a whole
+// fingerprint database the traditional way: visit all locations and
+// collect samplesPerLoc readings at each.
+func TraditionalUpdateSeconds(locations, samplesPerLoc int) float64 {
+	return SurveySeconds(locations, samplesPerLoc)
+}
+
+// IUpdaterUpdateSeconds returns the labor for an iUpdater refresh:
+// visit only the reference locations with IUpdater's reduced sampling.
+func IUpdaterUpdateSeconds(referenceLocations, samplesPerLoc int) float64 {
+	return SurveySeconds(referenceLocations, samplesPerLoc)
+}
+
+// SavingFraction returns 1 - ours/baseline, the fraction of labor saved.
+func SavingFraction(baselineSeconds, oursSeconds float64) float64 {
+	if baselineSeconds <= 0 {
+		return 0
+	}
+	return 1 - oursSeconds/baselineSeconds
+}
+
+// ScalingPoint is one x-position of Fig 20: the deployment area scaled to
+// `Scale` times the original edge length.
+type ScalingPoint struct {
+	// Scale is the edge-length multiplier.
+	Scale int
+	// TraditionalHours is the whole-database update cost of existing
+	// systems.
+	TraditionalHours float64
+	// IUpdaterHours is iUpdater's reference-only update cost.
+	IUpdaterHours float64
+}
+
+// LaborScaling reproduces Fig 20: update time cost as the deployment area
+// grows. Scaling the edge length by k scales the number of grid cells by
+// k² and the number of links (hence reference locations) by k.
+func LaborScaling(baseLocations, baseLinks int, scales []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(scales))
+	for _, k := range scales {
+		locations := baseLocations * k * k
+		refs := baseLinks * k
+		out = append(out, ScalingPoint{
+			Scale:            k,
+			TraditionalHours: TraditionalUpdateSeconds(locations, TraditionalSamples) / 3600,
+			IUpdaterHours:    IUpdaterUpdateSeconds(refs, IUpdaterSamples) / 3600,
+		})
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package iupdater
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const day = 24 * time.Hour
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tb := NewTestbed(Office(), 1)
+	original, labor := tb.Survey(0, 50)
+	if len(original) != 8 || len(original[0]) != 96 {
+		t.Fatalf("survey shape %dx%d", len(original), len(original[0]))
+	}
+	if labor.Locations != 96 || labor.Duration <= 0 {
+		t.Errorf("labor = %+v", labor)
+	}
+
+	p, err := NewPipeline(original, tb.Links(), tb.PerStrip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := p.ReferenceLocations()
+	if len(refs) != 8 {
+		t.Fatalf("reference count = %d", len(refs))
+	}
+
+	at := 45 * day
+	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), tb.MeasureColumns(at, refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The refreshed database must be much closer to the current truth
+	// than the stale original on the labor-cost entries.
+	truth := tb.TrueFingerprints(at)
+	known := tb.KnownMask()
+	var errFresh, errStale float64
+	var cnt int
+	for i := range truth {
+		for j := range truth[i] {
+			if known[i][j] {
+				continue
+			}
+			errFresh += math.Abs(fresh[i][j] - truth[i][j])
+			errStale += math.Abs(original[i][j] - truth[i][j])
+			cnt++
+		}
+	}
+	errFresh /= float64(cnt)
+	errStale /= float64(cnt)
+	if errFresh >= errStale {
+		t.Errorf("update did not help: fresh %.2f dB vs stale %.2f dB", errFresh, errStale)
+	}
+	if errFresh > 3 {
+		t.Errorf("fresh error %.2f dB too large", errFresh)
+	}
+
+	// Localize a target with the refreshed database.
+	loc, err := NewLocalizer(fresh, tb.Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy := tb.CellCenter(42)
+	var sum float64
+	const trials = 10
+	for k := 0; k < trials; k++ {
+		rss := tb.MeasureOnline(cx, cy, at+time.Duration(k)*time.Minute)
+		x, y, err := loc.Locate(rss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Hypot(x-cx, y-cy)
+	}
+	if mean := sum / trials; mean > 2.5 {
+		t.Errorf("mean localization error %.2f m at a known cell", mean)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(nil, 8, 12); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := NewPipeline([][]float64{{1, 2}, {3}}, 2, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewPipeline([][]float64{{1, 2}, {3, 4}}, 2, 3); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestPipelineOptions(t *testing.T) {
+	tb := NewTestbed(Office(), 2)
+	original, _ := tb.Survey(0, 50)
+	p, err := NewPipeline(original, tb.Links(), tb.PerStrip(), WithReferenceCount(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.ReferenceLocations()); got != 5 {
+		t.Errorf("reference count = %d, want 5", got)
+	}
+	// Ablation options must still produce working pipelines.
+	for _, opts := range [][]PipelineOption{
+		{WithPaperInitialization()},
+		{WithoutReferenceConstraint()},
+		{WithoutStabilityConstraint()},
+	} {
+		p, err := NewPipeline(original, tb.Links(), tb.PerStrip(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := 5 * day
+		if _, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(),
+			tb.MeasureColumns(at, p.ReferenceLocations())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPipelineRefresh(t *testing.T) {
+	tb := NewTestbed(Office(), 3)
+	original, _ := tb.Survey(0, 50)
+	p, err := NewPipeline(original, tb.Links(), tb.PerStrip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 15 * day
+	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), tb.MeasureColumns(at, p.ReferenceLocations()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refresh(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refresh([][]float64{{1}}); err == nil {
+		t.Error("bad refresh shape accepted")
+	}
+}
+
+func TestLocalizerValidation(t *testing.T) {
+	g := Geometry{WidthM: 12, HeightM: 9, Links: 8, PerStrip: 12}
+	if _, err := NewLocalizer(nil, g); err == nil {
+		t.Error("nil fingerprints accepted")
+	}
+	short := make([][]float64, 8)
+	for i := range short {
+		short[i] = make([]float64, 10)
+	}
+	if _, err := NewLocalizer(short, g); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestLocalizerCellHelpers(t *testing.T) {
+	tb := NewTestbed(Hall(), 4)
+	original, _ := tb.Survey(0, 50)
+	l, err := NewLocalizer(original, tb.Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := l.CellCenter(0)
+	if x <= 0 || y <= 0 {
+		t.Errorf("CellCenter(0) = %v,%v", x, y)
+	}
+	rss := tb.MeasureOnline(x, y, time.Hour)
+	cell, err := l.LocateCell(rss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell < 0 || cell >= tb.NumCells() {
+		t.Errorf("cell %d out of range", cell)
+	}
+}
+
+func TestEnvironmentPresets(t *testing.T) {
+	tests := []struct {
+		env   Environment
+		links int
+		cells int
+	}{
+		{Office(), 8, 96},
+		{Library(), 6, 72},
+		{Hall(), 8, 120},
+	}
+	for _, tt := range tests {
+		g := tt.env.Geometry()
+		if g.Links != tt.links || g.Links*g.PerStrip != tt.cells {
+			t.Errorf("%s: %d links, %d cells", tt.env.Name(), g.Links, g.Links*g.PerStrip)
+		}
+	}
+}
+
+func TestTestbedDeterminism(t *testing.T) {
+	a, _ := NewTestbed(Office(), 9).Survey(0, 5)
+	b, _ := NewTestbed(Office(), 9).Survey(0, 5)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed, different surveys")
+			}
+		}
+	}
+}
+
+func TestLocateMultiplePublicAPI(t *testing.T) {
+	tb := NewTestbed(Office(), 5)
+	original, _ := tb.Survey(0, 50)
+	l, err := NewLocalizer(original, tb.Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, ay := tb.CellCenter(33) // strip 2
+	bx, by := tb.CellCenter(69) // strip 5
+	rss := tb.MeasureOnlineMulti([][2]float64{{ax, ay}, {bx, by}}, time.Hour)
+	est, err := l.LocateMultiple(rss, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) == 0 || len(est) > 2 {
+		t.Fatalf("%d estimates", len(est))
+	}
+	// At least one estimate lands near one of the true targets.
+	near := func(p Position, x, y float64) bool {
+		return math.Hypot(p.X-x, p.Y-y) < 2.5
+	}
+	found := false
+	for _, p := range est {
+		if near(p, ax, ay) || near(p, bx, by) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no estimate near either target: %v", est)
+	}
+}

@@ -1,0 +1,149 @@
+package iupdater
+
+import (
+	"time"
+
+	"iupdater/internal/geom"
+	"iupdater/internal/testbed"
+)
+
+// Environment is a simulated deployment preset. Obtain one from Office,
+// Library or Hall.
+type Environment struct {
+	inner testbed.Environment
+}
+
+// Name returns the environment's name.
+func (e Environment) Name() string { return e.inner.Name }
+
+// Geometry returns the deployment geometry.
+func (e Environment) Geometry() Geometry {
+	g := e.inner.Grid
+	return Geometry{WidthM: g.Width, HeightM: g.Height, Links: g.Links, PerStrip: g.PerStrip}
+}
+
+// Office returns the paper's office testbed: 9 m x 12 m, medium
+// multipath, 8 links, 96 grid cells.
+func Office() Environment { return Environment{inner: testbed.Office()} }
+
+// Library returns the paper's library testbed: 8 m x 11 m, high
+// multipath, 6 links, 72 grid cells.
+func Library() Environment { return Environment{inner: testbed.Library()} }
+
+// Hall returns the paper's empty-hall testbed: 10 m x 10 m, low
+// multipath, 8 links, 120 grid cells.
+func Hall() Environment { return Environment{inner: testbed.Hall()} }
+
+// LaborCost reports the human cost of a survey.
+type LaborCost struct {
+	// Locations visited with the target present.
+	Locations int
+	// Duration of the human labor.
+	Duration time.Duration
+}
+
+// Testbed is a simulated deployment: radio channel, human target, drift
+// and survey campaigns, deterministic for a given seed. It is the
+// stand-in for the paper's physical testbeds.
+type Testbed struct {
+	s   *testbed.Surveyor
+	env testbed.Environment
+}
+
+// NewTestbed builds the simulated deployment.
+func NewTestbed(env Environment, seed uint64) *Testbed {
+	return &Testbed{s: testbed.NewSurveyor(env.inner, seed), env: env.inner}
+}
+
+// Links returns the number of links M.
+func (t *Testbed) Links() int { return t.env.NumLinks() }
+
+// PerStrip returns the cells per strip K.
+func (t *Testbed) PerStrip() int { return t.env.Grid.PerStrip }
+
+// NumCells returns N = M*K.
+func (t *Testbed) NumCells() int { return t.env.NumCells() }
+
+// Geometry returns the deployment geometry for building a Localizer.
+func (t *Testbed) Geometry() Geometry {
+	g := t.env.Grid
+	return Geometry{WidthM: g.Width, HeightM: g.Height, Links: g.Links, PerStrip: g.PerStrip}
+}
+
+// Survey performs a full human site survey at the given elapsed time: the
+// target visits every grid cell while every link collects
+// samplesPerLocation readings. This is the traditional (expensive) way to
+// build or refresh the database.
+func (t *Testbed) Survey(at time.Duration, samplesPerLocation int) ([][]float64, LaborCost) {
+	fp, labor := t.s.FullSurvey(at.Seconds(), samplesPerLocation)
+	return fromDense(fp.X), LaborCost{
+		Locations: labor.Locations,
+		Duration:  time.Duration(labor.Seconds * float64(time.Second)),
+	}
+}
+
+// NoDecreaseScan measures the no-decrease entries at the given time
+// without the target — the zero-labor input to Pipeline.Update.
+func (t *Testbed) NoDecreaseScan(at time.Duration) [][]float64 {
+	return fromDense(t.s.NoDecreaseScan(at.Seconds(), testbed.IUpdaterSamples))
+}
+
+// KnownMask returns the no-decrease index: known[i][j] is true when link
+// i does not react to a target at cell j.
+func (t *Testbed) KnownMask() [][]bool {
+	mask := t.s.Mask()
+	out := make([][]bool, t.Links())
+	for i := range out {
+		out[i] = make([]bool, t.NumCells())
+		for j := range out[i] {
+			out[i][j] = mask.Known(i, j)
+		}
+	}
+	return out
+}
+
+// MeasureColumns measures fresh full columns at the given locations (the
+// reference survey), with the target present: the labor-cost input to
+// Pipeline.Update. The returned labor covers only these locations.
+func (t *Testbed) MeasureColumns(at time.Duration, locations []int) [][]float64 {
+	xr, _ := t.s.ReferenceSurvey(at.Seconds(), locations, testbed.IUpdaterSamples)
+	return fromDense(xr)
+}
+
+// MeasureColumnsLabor is MeasureColumns plus the labor accounting.
+func (t *Testbed) MeasureColumnsLabor(at time.Duration, locations []int) ([][]float64, LaborCost) {
+	xr, labor := t.s.ReferenceSurvey(at.Seconds(), locations, testbed.IUpdaterSamples)
+	return fromDense(xr), LaborCost{
+		Locations: labor.Locations,
+		Duration:  time.Duration(labor.Seconds * float64(time.Second)),
+	}
+}
+
+// MeasureOnline returns one online RSS vector for a target standing at
+// (x, y) meters at the given time — the input to Localizer.Locate.
+func (t *Testbed) MeasureOnline(x, y float64, at time.Duration) []float64 {
+	return t.s.MeasureOnline(geom.Point{X: x, Y: y}, at.Seconds(), testbed.IUpdaterSamples)
+}
+
+// MeasureOnlineMulti returns one online RSS vector with several targets
+// present simultaneously — the input to Localizer.LocateMultiple.
+func (t *Testbed) MeasureOnlineMulti(positions [][2]float64, at time.Duration) []float64 {
+	pts := make([]geom.Point, len(positions))
+	for i, p := range positions {
+		pts[i] = geom.Point{X: p[0], Y: p[1]}
+	}
+	return t.s.MeasureOnlineMulti(pts, at.Seconds(), testbed.IUpdaterSamples)
+}
+
+// TrueFingerprints returns the noise-free fingerprint matrix at the given
+// time: the ideal database a perfect survey would record. Useful as a
+// ground-truth baseline in evaluations.
+func (t *Testbed) TrueFingerprints(at time.Duration) [][]float64 {
+	return fromDense(t.s.TrueFingerprint(at.Seconds()).X)
+}
+
+// CellCenter returns the center of a grid cell in meters.
+func (t *Testbed) CellCenter(cell int) (x, y float64) {
+	p := t.env.Grid.Center(cell)
+	return p.X, p.Y
+}
