@@ -11,8 +11,12 @@ package iupdater_test
 // produces the full multi-seed report.
 
 import (
+	"context"
+	"fmt"
 	"testing"
+	"time"
 
+	"iupdater"
 	"iupdater/internal/core"
 	"iupdater/internal/eval"
 	"iupdater/internal/loc"
@@ -394,4 +398,52 @@ func BenchmarkAblationMatcher(b *testing.B) {
 	b.ReportMetric(results["omp"], "omp_median_m")
 	b.ReportMetric(results["knn"], "knn_median_m")
 	b.ReportMetric(results["nearest"], "nearest_median_m")
+}
+
+// --- Deployment serving benchmarks (serial Locate vs LocateBatch) ---
+
+// benchDeployment builds an office Deployment plus a fixed batch of
+// online measurements for the serving benchmarks.
+func benchDeployment(b *testing.B, workers int) (*iupdater.Deployment, [][]float64) {
+	b.Helper()
+	tb := iupdater.NewTestbed(iupdater.Office(), 3)
+	d, _, err := tb.Deploy(0, 20, iupdater.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]float64, 256)
+	for k := range batch {
+		cx, cy := tb.CellCenter(k % tb.NumCells())
+		batch[k] = tb.MeasureOnline(cx, cy, time.Duration(k)*time.Minute)
+	}
+	return d, batch
+}
+
+func BenchmarkLocateSerial(b *testing.B) {
+	d, batch := benchDeployment(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rss := range batch {
+			if _, err := d.Locate(rss); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "queries/op")
+}
+
+func BenchmarkLocateBatch(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			d, batch := benchDeployment(b, workers)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.LocateBatch(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batch)), "queries/op")
+		})
+	}
 }

@@ -4,11 +4,14 @@
 //	iupdater update   [-env ...] [-seed n] [-days d]
 //	iupdater localize [-env ...] [-seed n] [-days d] [-x m -y m]
 //	iupdater labor    [-scale k]
+//	iupdater serve    [-env ...] [-seed n] [-addr :8080] [-workers n]
 //
 // survey prints the original fingerprint database and its labor cost;
 // update runs the iUpdater refresh after the given number of days and
 // reports accuracy and labor; localize runs an online localization with
-// the refreshed database; labor prints the update-cost model.
+// the refreshed database; labor prints the update-cost model; serve runs
+// a long-lived localization service over HTTP/JSON (POST /locate,
+// POST /update, GET /snapshot) backed by a testbed-seeded Deployment.
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 		err = runLocalize(os.Args[2:])
 	case "labor":
 		err = runLabor(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -50,12 +55,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: iupdater <survey|update|localize|labor> [flags]
+	fmt.Fprint(os.Stderr, `usage: iupdater <survey|update|localize|labor|serve> [flags]
 
   survey    run the original full site survey and print its cost
   update    refresh the database after -days days of drift
   localize  refresh, then localize a target at (-x, -y)
   labor     print the labor-cost model for a -scale x larger area
+  serve     run the HTTP localization service on a simulated deployment
 `)
 }
 
@@ -110,34 +116,38 @@ func runUpdate(args []string) error {
 		return err
 	}
 	tb := iupdater.NewTestbed(env, *seed)
-	original, fullLabor := tb.Survey(0, 50)
-	p, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	original, fullLabor := tb.SurveyMatrix(0, 50)
+	d, err := iupdater.NewDeployment(original, tb.Geometry())
 	if err != nil {
 		return err
 	}
 	at := time.Duration(*days) * 24 * time.Hour
-	refs := p.ReferenceLocations()
-	xr, refLabor := tb.MeasureColumnsLabor(at, refs)
-	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), xr)
+	refs, err := d.ReferenceLocations()
 	if err != nil {
 		return err
 	}
+	xr, refLabor := tb.ReferenceMatrix(at, refs)
+	snap, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), xr)
+	if err != nil {
+		return err
+	}
+	fresh := snap.Fingerprints()
 
-	truth := tb.TrueFingerprints(at)
-	known := tb.KnownMask()
+	truth := tb.TrueMatrix(at)
+	known := tb.Mask()
 	var errFresh, errStale float64
 	var cnt int
-	for i := range truth {
-		for j := range truth[i] {
-			if known[i][j] {
+	for i := 0; i < truth.Rows(); i++ {
+		for j := 0; j < truth.Cols(); j++ {
+			if known.Known(i, j) {
 				continue
 			}
-			errFresh += math.Abs(fresh[i][j] - truth[i][j])
-			errStale += math.Abs(original[i][j] - truth[i][j])
+			errFresh += math.Abs(fresh.At(i, j) - truth.At(i, j))
+			errStale += math.Abs(original.At(i, j) - truth.At(i, j))
 			cnt++
 		}
 	}
-	fmt.Printf("update after %d days in %s\n", *days, env.Name())
+	fmt.Printf("update after %d days in %s (snapshot v%d)\n", *days, env.Name(), snap.Version())
 	fmt.Printf("reference locations (%d): %v\n", len(refs), refs)
 	fmt.Printf("labor: %s (vs %s for a full re-survey, %.1f%% saved)\n",
 		refLabor.Duration.Round(time.Second), fullLabor.Duration.Round(time.Second),
@@ -162,27 +172,26 @@ func runLocalize(args []string) error {
 		return err
 	}
 	tb := iupdater.NewTestbed(env, *seed)
-	original, _ := tb.Survey(0, 50)
-	p, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	d, _, err := tb.Deploy(0, 50)
 	if err != nil {
 		return err
 	}
 	at := time.Duration(*days) * 24 * time.Hour
-	fresh, err := p.Update(tb.NoDecreaseScan(at), tb.KnownMask(), tb.MeasureColumns(at, p.ReferenceLocations()))
+	refs, err := d.ReferenceLocations()
 	if err != nil {
 		return err
 	}
-	loc, err := iupdater.NewLocalizer(fresh, tb.Geometry())
-	if err != nil {
+	xr, _ := tb.ReferenceMatrix(at, refs)
+	if _, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), xr); err != nil {
 		return err
 	}
 	rss := tb.MeasureOnline(*x, *y, at+time.Hour)
-	ex, ey, err := loc.Locate(rss)
+	est, err := d.Locate(rss)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("target at (%.2f, %.2f) m; online RSS: %v\n", *x, *y, compact(rss))
-	fmt.Printf("estimate: (%.2f, %.2f) m, error %.2f m\n", ex, ey, math.Hypot(ex-*x, ey-*y))
+	fmt.Printf("estimate: (%.2f, %.2f) m, error %.2f m\n", est.X, est.Y, math.Hypot(est.X-*x, est.Y-*y))
 	return nil
 }
 

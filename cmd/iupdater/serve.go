@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"iupdater"
+)
+
+// server exposes a Deployment over HTTP/JSON. Localization queries hit
+// the lock-free snapshot path; updates are serialized by the Deployment's
+// write path. The testbed stands in for the physical radio hardware, so
+// update requests may either carry raw measurement matrices or just name
+// an elapsed time for the simulator to measure at.
+type server struct {
+	d       *iupdater.Deployment
+	tb      *iupdater.Testbed
+	workers int
+
+	// mu guards clock, the simulated elapsed deployment time advanced by
+	// testbed-driven updates.
+	mu    sync.Mutex
+	clock time.Duration
+}
+
+func newServer(d *iupdater.Deployment, tb *iupdater.Testbed, workers int) *server {
+	return &server{d: d, tb: tb, workers: workers}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /locate", s.handleLocate)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.d.Version()})
+	})
+	return mux
+}
+
+type locateRequest struct {
+	// RSS is a single online measurement (one reading per link).
+	RSS []float64 `json:"rss,omitempty"`
+	// Batch is a set of measurements localized against one consistent
+	// snapshot; mutually exclusive with RSS.
+	Batch [][]float64 `json:"batch,omitempty"`
+}
+
+type positionJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type locateResponse struct {
+	Version   uint64         `json:"version"`
+	Position  *positionJSON  `json:"position,omitempty"`
+	Positions []positionJSON `json:"positions,omitempty"`
+}
+
+func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	var req locateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if (req.RSS == nil) == (req.Batch == nil) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("provide exactly one of rss or batch"))
+		return
+	}
+	// Pin one snapshot so the reported version matches the database every
+	// estimate in the response was computed against.
+	snap := s.d.Snapshot()
+	resp := locateResponse{Version: snap.Version()}
+	if req.RSS != nil {
+		p, err := snap.Locate(req.RSS)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Position = &positionJSON{X: p.X, Y: p.Y}
+	} else {
+		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Positions = make([]positionJSON, len(ps))
+		for i, p := range ps {
+			resp.Positions[i] = positionJSON{X: p.X, Y: p.Y}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type updateRequest struct {
+	// Days advances the simulated deployment clock and lets the testbed
+	// take the measurements (demo mode). Ignored when raw matrices are
+	// provided.
+	Days float64 `json:"days,omitempty"`
+	// NoDecrease, Known and References are the raw update inputs
+	// (row-major: [link][location]) for callers with real measurements.
+	NoDecrease [][]float64 `json:"no_decrease,omitempty"`
+	Known      [][]bool    `json:"known,omitempty"`
+	References [][]float64 `json:"references,omitempty"`
+}
+
+type updateResponse struct {
+	Version    uint64 `json:"version"`
+	References []int  `json:"references"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	refs, err := s.d.ReferenceLocations()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var noDec, xr iupdater.Matrix
+	var known iupdater.Mask
+	var at time.Duration
+	if req.References != nil {
+		if noDec, err = iupdater.MatrixFromRows(req.NoDecrease); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no_decrease: %w", err))
+			return
+		}
+		if known, err = iupdater.MaskFromRows(req.Known); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("known: %w", err))
+			return
+		}
+		if xr, err = iupdater.MatrixFromRows(req.References); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("references: %w", err))
+			return
+		}
+	} else {
+		if req.Days <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("provide days > 0 or raw measurement matrices"))
+			return
+		}
+		s.mu.Lock()
+		at = s.clock + time.Duration(req.Days*float64(24*time.Hour))
+		s.mu.Unlock()
+		noDec = s.tb.NoDecreaseMatrix(at)
+		known = s.tb.Mask()
+		xr, _ = s.tb.ReferenceMatrix(at, refs)
+	}
+	snap, err := s.d.Update(noDec, known, xr)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if at > 0 {
+		// Advance the simulated clock only once the update succeeded, so
+		// a failed request can be retried at the same elapsed time.
+		s.mu.Lock()
+		if at > s.clock {
+			s.clock = at
+		}
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Version: snap.Version(), References: refs})
+}
+
+type snapshotResponse struct {
+	Version      uint64      `json:"version"`
+	Links        int         `json:"links"`
+	Cells        int         `json:"cells"`
+	Fingerprints [][]float64 `json:"fingerprints"`
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.d.Snapshot()
+	fp := snap.Fingerprints()
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Version:      snap.Version(),
+		Links:        fp.Rows(),
+		Cells:        fp.Cols(),
+		Fingerprints: fp.ToRows(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("iupdater: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	envName := envFlag(fs)
+	seed := fs.Uint64("seed", 1, "deployment seed")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "batch-locate worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := pickEnv(*envName)
+	if err != nil {
+		return err
+	}
+	tb := iupdater.NewTestbed(env, *seed)
+	log.Printf("surveying %s (seed %d)...", env.Name(), *seed)
+	d, labor, err := tb.Deploy(0, 50, iupdater.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	log.Printf("deployment ready: %d links, %d cells, survey labor %s",
+		tb.Links(), tb.NumCells(), labor.Duration.Round(time.Second))
+
+	updates, cancel := d.Updates()
+	defer cancel()
+	go func() {
+		for snap := range updates {
+			log.Printf("published fingerprint snapshot v%d", snap.Version())
+		}
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(d, tb, *workers).handler()}
+	log.Printf("serving on %s (POST /locate, POST /update, GET /snapshot)", *addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"iupdater"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *iupdater.Testbed) {
+	t.Helper()
+	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(d, tb, 0).handler())
+	t.Cleanup(ts.Close)
+	return ts, tb
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeLocate(t *testing.T) {
+	ts, tb := newTestServer(t)
+	cx, cy := tb.CellCenter(42)
+	rss := tb.MeasureOnline(cx, cy, time.Hour)
+
+	var resp locateResponse
+	if code := postJSON(t, ts.URL+"/locate", locateRequest{RSS: rss}, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Version != 1 || resp.Position == nil {
+		t.Fatalf("response %+v", resp)
+	}
+	if dx, dy := resp.Position.X-cx, resp.Position.Y-cy; dx*dx+dy*dy > 25 {
+		t.Errorf("estimate (%.1f, %.1f) far from (%.1f, %.1f)", resp.Position.X, resp.Position.Y, cx, cy)
+	}
+
+	// Batch form.
+	var batchResp locateResponse
+	batch := [][]float64{rss, tb.MeasureOnline(cx, cy, 2*time.Hour)}
+	if code := postJSON(t, ts.URL+"/locate", locateRequest{Batch: batch}, &batchResp); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(batchResp.Positions) != 2 {
+		t.Fatalf("batch response %+v", batchResp)
+	}
+
+	// Malformed requests.
+	if code := postJSON(t, ts.URL+"/locate", locateRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty request: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/locate", locateRequest{RSS: []float64{1}}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("short rss: status %d", code)
+	}
+}
+
+func TestServeUpdateAndSnapshot(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var up updateResponse
+	if code := postJSON(t, ts.URL+"/update", updateRequest{Days: 30}, &up); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	if up.Version != 2 || len(up.References) == 0 {
+		t.Fatalf("update response %+v", up)
+	}
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap snapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 || snap.Links != 8 || snap.Cells != 96 {
+		t.Fatalf("snapshot header %+v", snap)
+	}
+	if len(snap.Fingerprints) != snap.Links || len(snap.Fingerprints[0]) != snap.Cells {
+		t.Fatalf("snapshot matrix %dx%d", len(snap.Fingerprints), len(snap.Fingerprints[0]))
+	}
+
+	if code := postJSON(t, ts.URL+"/update", updateRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty update: status %d", code)
+	}
+}
+
+func TestServeRawUpdate(t *testing.T) {
+	ts, tb := newTestServer(t)
+
+	// First ask the server which reference locations it wants.
+	var up updateResponse
+	if code := postJSON(t, ts.URL+"/update", updateRequest{Days: 1}, &up); code != http.StatusOK {
+		t.Fatalf("probe update status %d", code)
+	}
+
+	at := 45 * 24 * time.Hour
+	cols, _ := tb.ReferenceMatrix(at, up.References)
+	req := updateRequest{
+		NoDecrease: tb.NoDecreaseMatrix(at).ToRows(),
+		Known:      tb.Mask().ToRows(),
+		References: cols.ToRows(),
+	}
+	var raw updateResponse
+	if code := postJSON(t, ts.URL+"/update", req, &raw); code != http.StatusOK {
+		t.Fatalf("raw update status %d", code)
+	}
+	if raw.Version != 3 {
+		t.Errorf("raw update version %d", raw.Version)
+	}
+}

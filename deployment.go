@@ -1,0 +1,442 @@
+package iupdater
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"iupdater/internal/core"
+	"iupdater/internal/fingerprint"
+	"iupdater/internal/geom"
+	"iupdater/internal/loc"
+)
+
+// Geometry describes the deployment layout needed to turn fingerprint
+// column indices into positions: the area dimensions and the strip-major
+// grid shape.
+type Geometry struct {
+	// WidthM is the extent along the links (TX->RX), meters.
+	WidthM float64
+	// HeightM is the extent across the links, meters.
+	HeightM float64
+	// Links is the number of parallel links M.
+	Links int
+	// PerStrip is the number of grid cells along each link K (N = M*K).
+	PerStrip int
+}
+
+func (g Geometry) grid() geom.Grid {
+	return geom.NewGrid(g.WidthM, g.HeightM, g.Links, g.PerStrip)
+}
+
+// NumCells returns the number of grid locations N = Links * PerStrip.
+func (g Geometry) NumCells() int { return g.Links * g.PerStrip }
+
+// Position is a point estimate in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Option configures a Deployment (and, via the deprecated shims, a
+// Pipeline).
+type Option func(*config)
+
+// PipelineOption is the former name of Option.
+//
+// Deprecated: use Option.
+type PipelineOption = Option
+
+type config struct {
+	numRefs   int
+	paperInit bool
+	noC1      bool
+	noC2      bool
+	workers   int
+}
+
+// WithReferenceCount overrides the number of reference locations (default:
+// the number of links, the paper's minimal choice).
+func WithReferenceCount(n int) Option {
+	return func(c *config) { c.numRefs = n }
+}
+
+// WithPaperInitialization switches the solver to Algorithm 1's random
+// initialization instead of the default truncated-SVD warm start.
+func WithPaperInitialization() Option {
+	return func(c *config) { c.paperInit = true }
+}
+
+// WithoutReferenceConstraint disables Constraint 1 (for ablation).
+func WithoutReferenceConstraint() Option {
+	return func(c *config) { c.noC1 = true }
+}
+
+// WithoutStabilityConstraint disables Constraint 2 (for ablation).
+func WithoutStabilityConstraint() Option {
+	return func(c *config) { c.noC2 = true }
+}
+
+// WithWorkers bounds the worker pool used by LocateBatch (default:
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// Snapshot is one immutable published version of the fingerprint
+// database, with the localizer built for it at publish time. Queries that
+// need a consistent view across several calls pin a snapshot once and
+// query it directly; the Deployment's own query methods always use the
+// latest snapshot.
+type Snapshot struct {
+	version uint64
+	fp      Matrix
+	omp     *loc.OMPPoint
+	grid    geom.Grid
+}
+
+func newSnapshot(version uint64, fp Matrix, grid geom.Grid) *Snapshot {
+	return &Snapshot{
+		version: version,
+		fp:      fp,
+		omp:     loc.NewOMPPoint(fp.dense(), grid, loc.OMPConfig{}),
+		grid:    grid,
+	}
+}
+
+// Version returns the snapshot's monotonically increasing version number.
+// The initial database installed by NewDeployment is version 1.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Fingerprints returns a copy of the snapshot's fingerprint matrix.
+func (s *Snapshot) Fingerprints() Matrix { return s.fp.Clone() }
+
+// Locate estimates the target position for one online RSS vector (one
+// averaged reading per link).
+func (s *Snapshot) Locate(rss []float64) (Position, error) {
+	p, err := s.omp.LocatePoint(rss)
+	if err != nil {
+		return Position{}, fmt.Errorf("iupdater: %w", err)
+	}
+	return Position{X: p.X, Y: p.Y}, nil
+}
+
+// LocateCell estimates the strip-major grid cell index for one online
+// RSS vector.
+func (s *Snapshot) LocateCell(rss []float64) (int, error) {
+	cell, err := s.omp.Locate(rss)
+	if err != nil {
+		return 0, fmt.Errorf("iupdater: %w", err)
+	}
+	return cell, nil
+}
+
+// LocateMultiple estimates up to maxTargets simultaneous device-free
+// targets from one online measurement by successive interference
+// cancellation (an extension beyond the paper's single-target
+// formulation). Fewer estimates are returned when the measurement does
+// not support more.
+func (s *Snapshot) LocateMultiple(rss []float64, maxTargets int) ([]Position, error) {
+	pts, err := s.omp.LocateMultiple(rss, maxTargets, 0)
+	if err != nil {
+		return nil, fmt.Errorf("iupdater: %w", err)
+	}
+	out := make([]Position, len(pts))
+	for i, p := range pts {
+		out[i] = Position{X: p.X, Y: p.Y}
+	}
+	return out, nil
+}
+
+// LocateBatch localizes every measurement against this snapshot, fanned
+// out over a bounded worker pool. Results are in input order.
+func (s *Snapshot) LocateBatch(ctx context.Context, rss [][]float64, workers int) ([]Position, error) {
+	pts, err := loc.LocatePoints(ctx, s.omp, rss, workers)
+	if err != nil {
+		return nil, fmt.Errorf("iupdater: %w", err)
+	}
+	out := make([]Position, len(pts))
+	for i, p := range pts {
+		out[i] = Position{X: p.X, Y: p.Y}
+	}
+	return out, nil
+}
+
+// Deployment is a long-lived fingerprint-localization service for one
+// physical deployment. It owns a versioned fingerprint store: every
+// Update, Install or initial construction publishes an immutable Snapshot
+// swapped in behind an atomic pointer, so localization traffic reads
+// lock-free and is never blocked by — and never observes a torn state
+// from — a concurrent database refresh.
+//
+// All methods are safe for concurrent use. The write path (Update,
+// Install, Refresh) is serialized internally; the query path (Locate,
+// LocateCell, LocateMultiple, LocateBatch, Snapshot) never takes the
+// write lock.
+//
+// Construct with NewDeployment; the zero value is not usable.
+type Deployment struct {
+	geo  Geometry
+	grid geom.Grid
+	cfg  config
+
+	snap atomic.Pointer[Snapshot]
+
+	// mu serializes the write path and guards updater, which holds the
+	// reference locations and correlation matrix of the latest Refresh.
+	mu      sync.Mutex
+	updater *core.Updater
+
+	subMu  sync.Mutex
+	subs   map[uint64]chan *Snapshot
+	nextID uint64
+}
+
+// NewDeployment validates the initial fingerprint database against the
+// deployment geometry once, builds the localizer for it, and publishes it
+// as snapshot version 1. The update machinery (reference selection and
+// correlation acquisition) is initialized lazily on first use, so
+// query-only deployments pay nothing for it.
+func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if g.Links <= 0 || g.PerStrip <= 0 || g.WidthM <= 0 || g.HeightM <= 0 {
+		return nil, fmt.Errorf("iupdater: invalid geometry %+v", g)
+	}
+	if fingerprints.IsZero() {
+		return nil, fmt.Errorf("iupdater: empty fingerprint matrix")
+	}
+	grid := g.grid()
+	if r, c := fingerprints.Dims(); r != g.Links || c != grid.NumCells() {
+		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", r, c, g.Links, grid.NumCells())
+	}
+	d := &Deployment{
+		geo:  g,
+		grid: grid,
+		cfg:  cfg,
+		subs: make(map[uint64]chan *Snapshot),
+	}
+	d.snap.Store(newSnapshot(1, fingerprints.Clone(), grid))
+	return d, nil
+}
+
+// Geometry returns the deployment layout.
+func (d *Deployment) Geometry() Geometry { return d.geo }
+
+// Snapshot returns the latest published database version. The load is a
+// single atomic pointer read.
+func (d *Deployment) Snapshot() *Snapshot { return d.snap.Load() }
+
+// Version returns the latest published snapshot version.
+func (d *Deployment) Version() uint64 { return d.snap.Load().version }
+
+// CellCenter returns the position of a grid cell's center in meters.
+func (d *Deployment) CellCenter(cell int) Position {
+	p := d.grid.Center(cell)
+	return Position{X: p.X, Y: p.Y}
+}
+
+// buildUpdater runs reference selection and correlation acquisition on
+// the given database. It touches no deployment state, so callers can
+// swap the result in only on success.
+func (d *Deployment) buildUpdater(fp Matrix) (*core.Updater, error) {
+	ucfg := core.DefaultUpdaterConfig()
+	ucfg.NumReferences = d.cfg.numRefs
+	if d.cfg.paperInit {
+		ucfg.Reconstruction = []core.Option{core.WithWarmStart(false)}
+	}
+	if d.cfg.noC1 {
+		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConstraint1(false))
+	}
+	if d.cfg.noC2 {
+		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConstraint2(false))
+	}
+	up, err := core.NewUpdater(fingerprint.New(fp.dense(), 0), ucfg)
+	if err != nil {
+		return nil, fmt.Errorf("iupdater: %w", err)
+	}
+	return up, nil
+}
+
+// ensureUpdaterLocked builds the core updater from the current snapshot
+// if it has not been built yet. d.mu must be held.
+func (d *Deployment) ensureUpdaterLocked() error {
+	if d.updater != nil {
+		return nil
+	}
+	up, err := d.buildUpdater(d.snap.Load().fp)
+	if err != nil {
+		return err
+	}
+	d.updater = up
+	return nil
+}
+
+// ReferenceLocations returns the location indices (ascending) where fresh
+// full-column measurements must be taken for the next Update — the
+// maximum independent columns of the database the correlation matrix was
+// last learned on.
+func (d *Deployment) ReferenceLocations() ([]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensureUpdaterLocked(); err != nil {
+		return nil, err
+	}
+	return d.updater.ReferenceLocations(), nil
+}
+
+// Update reconstructs the full fingerprint database from cheap
+// measurements and publishes it as a new snapshot:
+//
+//   - noDecrease: the zero-labor measurements; noDecrease.At(i, j) is link
+//     i's fresh target-free reading where known.Known(i, j), ignored
+//     elsewhere;
+//   - known: the no-decrease index (true = measurable without target);
+//   - references: fresh measurements at ReferenceLocations();
+//     references.At(i, k) is link i's reading with the target at the k-th
+//     reference location.
+//
+// Localization traffic keeps reading the previous snapshot until the new
+// one is swapped in; the returned snapshot is the newly published
+// version.
+func (d *Deployment) Update(noDecrease Matrix, known Mask, references Matrix) (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensureUpdaterLocked(); err != nil {
+		return nil, err
+	}
+	cells := d.grid.NumCells()
+	if noDecrease.IsZero() {
+		return nil, fmt.Errorf("iupdater: no-decrease matrix: empty matrix")
+	}
+	if r, c := noDecrease.Dims(); r != d.geo.Links || c != cells {
+		return nil, fmt.Errorf("iupdater: no-decrease matrix is %dx%d, want %dx%d", r, c, d.geo.Links, cells)
+	}
+	if known.IsZero() {
+		return nil, fmt.Errorf("iupdater: known mask: empty mask")
+	}
+	if r, c := known.Dims(); r != d.geo.Links || c != cells {
+		return nil, fmt.Errorf("iupdater: known mask is %dx%d, want %dx%d", r, c, d.geo.Links, cells)
+	}
+	refs := d.updater.ReferenceLocations()
+	if references.IsZero() {
+		return nil, fmt.Errorf("iupdater: reference matrix: empty matrix")
+	}
+	if r, c := references.Dims(); r != d.geo.Links || c != len(refs) {
+		return nil, fmt.Errorf("iupdater: reference matrix is %dx%d, want %dx%d", r, c, d.geo.Links, len(refs))
+	}
+	mask := known.fingerprintMask()
+	// Zero out the unknown entries so B ∘ X̂ = X_B holds exactly.
+	xb := mask.Project(noDecrease.dense())
+	updated, _, err := d.updater.Update(xb, mask, references.dense(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("iupdater: %w", err)
+	}
+	return d.publishLocked(matrixFromDense(updated.X)), nil
+}
+
+// Install replaces the database wholesale (e.g. after a fresh full
+// survey): it re-runs reference selection and correlation acquisition on
+// the new matrix and, only if that succeeds, publishes it as a new
+// snapshot. On error no deployment state changes — the previous snapshot
+// keeps serving and the previous correlation state keeps updating.
+func (d *Deployment) Install(fingerprints Matrix) (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fingerprints.IsZero() {
+		return nil, fmt.Errorf("iupdater: empty fingerprint matrix")
+	}
+	if r, c := fingerprints.Dims(); r != d.geo.Links || c != d.grid.NumCells() {
+		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", r, c, d.geo.Links, d.grid.NumCells())
+	}
+	fp := fingerprints.Clone()
+	up, err := d.buildUpdater(fp)
+	if err != nil {
+		return nil, err
+	}
+	snap := d.publishLocked(fp)
+	d.updater = up
+	return snap, nil
+}
+
+// Refresh re-runs reference selection and correlation acquisition on the
+// latest published snapshot, so that subsequent updates track the current
+// database state (Fig 10's feedback loop). It does not publish a new
+// snapshot, and on error the previous correlation state is kept.
+func (d *Deployment) Refresh() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	up, err := d.buildUpdater(d.snap.Load().fp)
+	if err != nil {
+		return err
+	}
+	d.updater = up
+	return nil
+}
+
+// publishLocked stamps the next version, swaps the snapshot in and
+// notifies subscribers. d.mu must be held.
+func (d *Deployment) publishLocked(fp Matrix) *Snapshot {
+	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid)
+	d.snap.Store(snap)
+	d.subMu.Lock()
+	for _, ch := range d.subs {
+		select {
+		case ch <- snap:
+		default: // slow subscriber: drop rather than stall the write path
+		}
+	}
+	d.subMu.Unlock()
+	return snap
+}
+
+// Updates returns a channel receiving every newly published snapshot
+// (version rollovers from Update and Install), plus a cancel function
+// that unsubscribes and closes the channel. Deliveries to a subscriber
+// whose buffer is full are dropped; poll Snapshot for the authoritative
+// latest version.
+func (d *Deployment) Updates() (<-chan *Snapshot, func()) {
+	ch := make(chan *Snapshot, 8)
+	d.subMu.Lock()
+	id := d.nextID
+	d.nextID++
+	d.subs[id] = ch
+	d.subMu.Unlock()
+	cancel := func() {
+		d.subMu.Lock()
+		if _, ok := d.subs[id]; ok {
+			delete(d.subs, id)
+			close(ch)
+		}
+		d.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Locate estimates the target position for one online RSS vector against
+// the latest snapshot.
+func (d *Deployment) Locate(rss []float64) (Position, error) {
+	return d.snap.Load().Locate(rss)
+}
+
+// LocateCell estimates the strip-major grid cell index against the latest
+// snapshot.
+func (d *Deployment) LocateCell(rss []float64) (int, error) {
+	return d.snap.Load().LocateCell(rss)
+}
+
+// LocateMultiple estimates up to maxTargets simultaneous targets against
+// the latest snapshot.
+func (d *Deployment) LocateMultiple(rss []float64, maxTargets int) ([]Position, error) {
+	return d.snap.Load().LocateMultiple(rss, maxTargets)
+}
+
+// LocateBatch localizes a batch of online measurements against one
+// consistent snapshot (the latest at call time), fanned out over the
+// deployment's worker pool (see WithWorkers). Results are in input order;
+// the first error or a context cancellation aborts the remaining work.
+func (d *Deployment) LocateBatch(ctx context.Context, rss [][]float64) ([]Position, error) {
+	return d.snap.Load().LocateBatch(ctx, rss, d.cfg.workers)
+}

@@ -1,0 +1,137 @@
+package iupdater
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentLocateWhileUpdate hammers the query path from several
+// goroutines while the write path swaps snapshots, asserting (under
+// -race) that no torn state is observable: every estimate is finite and
+// every reader sees monotonically non-decreasing snapshot versions.
+func TestConcurrentLocateWhileUpdate(t *testing.T) {
+	tb := NewTestbed(Office(), 8)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Precompute update inputs so the writer loop spends its time in
+	// Update/Refresh, not in the simulator.
+	const updates = 4
+	type updateInput struct {
+		noDec Matrix
+		mask  Mask
+		cols  Matrix
+	}
+	inputs := make([]updateInput, updates)
+	for u := range inputs {
+		at := time.Duration(u+1) * 10 * day
+		cols, _ := tb.ReferenceMatrix(at, refs)
+		inputs[u] = updateInput{noDec: tb.NoDecreaseMatrix(at), mask: tb.Mask(), cols: cols}
+	}
+	cx, cy := tb.CellCenter(42)
+	single := tb.MeasureOnline(cx, cy, time.Hour)
+	batch := make([][]float64, 8)
+	for k := range batch {
+		x, y := tb.CellCenter(k * 7 % tb.NumCells())
+		batch[k] = tb.MeasureOnline(x, y, time.Duration(k+2)*time.Minute)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const readers = 8
+	errCh := make(chan error, readers+1)
+
+	// Version-rollover observer: versions delivered on the subscription
+	// must increase strictly.
+	updatesCh, cancel := d.Updates()
+	defer cancel()
+	var obsWg sync.WaitGroup
+	obsWg.Add(1)
+	go func() {
+		defer obsWg.Done()
+		var last uint64
+		for snap := range updatesCh {
+			if v := snap.Version(); v <= last {
+				errCh <- fmt.Errorf("subscription version went backwards: %d after %d", v, last)
+				return
+			} else {
+				last = v
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastVersion uint64
+			for !stop.Load() {
+				// Lock-free single query against the latest snapshot.
+				snap := d.Snapshot()
+				if v := snap.Version(); v < lastVersion {
+					errCh <- fmt.Errorf("reader %d: version went backwards: %d after %d", r, v, lastVersion)
+					return
+				} else {
+					lastVersion = v
+				}
+				p, err := snap.Locate(single)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+					errCh <- fmt.Errorf("reader %d: NaN estimate", r)
+					return
+				}
+				// Batch query through the deployment.
+				if r%2 == 0 {
+					if _, err := d.LocateBatch(context.Background(), batch); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: interleave Update and Refresh while the readers run.
+	for u := 0; u < updates; u++ {
+		if _, err := d.Update(inputs[u].noDec, inputs[u].mask, inputs[u].cols); err != nil {
+			t.Fatal(err)
+		}
+		if u == updates/2 {
+			if err := d.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			// Refresh may re-select references; keep feeding matching
+			// columns by re-reading them.
+			if refs2, err := d.ReferenceLocations(); err != nil {
+				t.Fatal(err)
+			} else if len(refs2) != len(refs) {
+				t.Fatalf("reference count changed after refresh: %d vs %d", len(refs2), len(refs))
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	cancel()
+	obsWg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if v := d.Version(); v != 1+updates {
+		t.Errorf("final version = %d, want %d", v, 1+updates)
+	}
+}

@@ -1,0 +1,330 @@
+package iupdater
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeploymentValidation(t *testing.T) {
+	g := Geometry{WidthM: 12, HeightM: 9, Links: 8, PerStrip: 12}
+	if _, err := NewDeployment(Matrix{}, g); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	small, err := NewMatrix(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDeployment(small, g); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	ok, err := NewMatrix(8, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDeployment(ok, Geometry{}); err == nil {
+		t.Error("zero geometry accepted")
+	}
+	if _, err := NewMatrix(0, 5); err == nil {
+		t.Error("non-positive dimensions accepted")
+	}
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := MaskFromRows([][]bool{{true}, {true, false}}); err == nil {
+		t.Error("ragged mask accepted")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	m, err := MatrixFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 5 {
+		t.Errorf("Col(1) = %v", got)
+	}
+	if got := m.ColView(2); got[0] != 3 || got[1] != 6 {
+		t.Errorf("ColView(2) = %v", got)
+	}
+	if got := m.Row(0); got[0] != 1 || got[2] != 3 {
+		t.Errorf("Row(0) = %v", got)
+	}
+	back := m.ToRows()
+	for i := range rows {
+		for j := range rows[i] {
+			if back[i][j] != rows[i][j] {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// dense round trip preserves values.
+	if !matrixFromDense(m.dense()).dense().EqualApprox(m.dense(), 0) {
+		t.Error("dense round trip mismatch")
+	}
+	// Clone isolates storage.
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDeploymentUpdatePublishesVersions(t *testing.T) {
+	tb := NewTestbed(Office(), 1)
+	d, labor, err := tb.Deploy(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labor.Locations != 96 {
+		t.Errorf("labor = %+v", labor)
+	}
+	if v := d.Version(); v != 1 {
+		t.Fatalf("initial version = %d", v)
+	}
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 8 {
+		t.Fatalf("reference count = %d", len(refs))
+	}
+
+	updates, cancel := d.Updates()
+	defer cancel()
+
+	original := d.Snapshot().Fingerprints()
+	at := 45 * day
+	cols, _ := tb.ReferenceMatrix(at, refs)
+	snap, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 2 || d.Version() != 2 {
+		t.Errorf("versions: snapshot %d, deployment %d", snap.Version(), d.Version())
+	}
+	select {
+	case got := <-updates:
+		if got.Version() != 2 {
+			t.Errorf("subscription delivered v%d", got.Version())
+		}
+	case <-time.After(time.Second):
+		t.Error("no update notification")
+	}
+
+	// The refreshed database must be much closer to the current truth
+	// than the stale original on the labor-cost entries.
+	fresh := snap.Fingerprints()
+	truth := tb.TrueMatrix(at)
+	known := tb.Mask()
+	var errFresh, errStale float64
+	var cnt int
+	for i := 0; i < truth.Rows(); i++ {
+		for j := 0; j < truth.Cols(); j++ {
+			if known.Known(i, j) {
+				continue
+			}
+			errFresh += math.Abs(fresh.At(i, j) - truth.At(i, j))
+			errStale += math.Abs(original.At(i, j) - truth.At(i, j))
+			cnt++
+		}
+	}
+	if errFresh >= errStale {
+		t.Errorf("update did not help: fresh %.2f vs stale %.2f", errFresh/float64(cnt), errStale/float64(cnt))
+	}
+
+	// Localization against the new snapshot.
+	cx, cy := tb.CellCenter(42)
+	var sum float64
+	const trials = 10
+	for k := 0; k < trials; k++ {
+		p, err := d.Locate(tb.MeasureOnline(cx, cy, at+time.Duration(k)*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Hypot(p.X-cx, p.Y-cy)
+	}
+	if mean := sum / trials; mean > 2.5 {
+		t.Errorf("mean localization error %.2f m at a known cell", mean)
+	}
+}
+
+func TestDeploymentUpdateValidation(t *testing.T) {
+	tb := NewTestbed(Office(), 2)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 5 * day
+	noDec := tb.NoDecreaseMatrix(at)
+	mask := tb.Mask()
+	cols, _ := tb.ReferenceMatrix(at, refs)
+
+	if _, err := d.Update(Matrix{}, mask, cols); err == nil {
+		t.Error("empty no-decrease accepted")
+	}
+	if _, err := d.Update(noDec, Mask{}, cols); err == nil {
+		t.Error("empty mask accepted")
+	}
+	if _, err := d.Update(noDec, mask, Matrix{}); err == nil {
+		t.Error("empty references accepted")
+	}
+	short, _ := NewMatrix(8, 3)
+	if _, err := d.Update(noDec, mask, short); err == nil {
+		t.Error("wrong reference count accepted")
+	}
+	wrong, _ := NewMatrix(4, 96)
+	if _, err := d.Update(wrong, mask, cols); err == nil {
+		t.Error("wrong no-decrease shape accepted")
+	}
+	// And a well-formed update still succeeds afterwards.
+	if _, err := d.Update(noDec, mask, cols); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeploymentInstallAndRefresh(t *testing.T) {
+	tb := NewTestbed(Office(), 3)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs1, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a later resurvey; reference selection must re-run on it.
+	resurvey, _ := tb.SurveyMatrix(60*day, 20)
+	snap, err := d.Install(resurvey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 2 {
+		t.Errorf("install version = %d", snap.Version())
+	}
+	refs2, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs2) != len(refs1) {
+		t.Errorf("reference count changed: %d vs %d", len(refs2), len(refs1))
+	}
+	bad, _ := NewMatrix(2, 2)
+	if _, err := d.Install(bad); err == nil {
+		t.Error("bad install shape accepted")
+	}
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPinning(t *testing.T) {
+	tb := NewTestbed(Office(), 4)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := d.Snapshot()
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 30 * day
+	cols, _ := tb.ReferenceMatrix(at, refs)
+	if _, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), cols); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned snapshot still serves its original version.
+	if pinned.Version() != 1 {
+		t.Fatalf("pinned version = %d", pinned.Version())
+	}
+	cx, cy := tb.CellCenter(10)
+	if _, err := pinned.Locate(tb.MeasureOnline(cx, cy, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Snapshot().Version() != 2 {
+		t.Errorf("latest version = %d", d.Snapshot().Version())
+	}
+}
+
+func TestLocateBatchMatchesSerial(t *testing.T) {
+	tb := NewTestbed(Office(), 5)
+	d, _, err := tb.Deploy(0, 20, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]float64, 32)
+	for k := range batch {
+		cx, cy := tb.CellCenter(k % tb.NumCells())
+		batch[k] = tb.MeasureOnline(cx, cy, time.Duration(k)*time.Minute)
+	}
+	got, err := d.LocateBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("%d results for %d measurements", len(got), len(batch))
+	}
+	for k, rss := range batch {
+		want, err := d.Locate(rss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[k] != want {
+			t.Fatalf("batch[%d] = %+v, serial = %+v", k, got[k], want)
+		}
+	}
+	// Empty batch is a no-op.
+	if out, err := d.LocateBatch(context.Background(), nil); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestLocateBatchErrors(t *testing.T) {
+	tb := NewTestbed(Office(), 6)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cx, cy := tb.CellCenter(0)
+	rss := tb.MeasureOnline(cx, cy, time.Hour)
+	if _, err := d.LocateBatch(ctx, [][]float64{rss}); err == nil {
+		t.Error("canceled context accepted")
+	}
+	// A malformed measurement aborts the batch with an error.
+	if _, err := d.LocateBatch(context.Background(), [][]float64{rss, {1, 2}}); err == nil {
+		t.Error("short measurement accepted")
+	}
+}
+
+func TestUpdatesSubscriptionCancel(t *testing.T) {
+	tb := NewTestbed(Office(), 7)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := d.Updates()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed after cancel")
+	}
+	cancel() // double-cancel must not panic
+	// Publishing after cancel must not panic or block.
+	if _, err := d.Install(d.Snapshot().Fingerprints()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,22 +26,35 @@
 //
 // # Public API
 //
-// The Pipeline type implements the update algorithm on caller-provided
-// data; the Localizer type implements the paper's OMP-based target
-// localization. The Testbed type provides the full simulated deployment
-// (radio propagation, human target, drift, survey campaigns) used by the
-// examples and by the experiment reproduction in internal/eval.
+// The Deployment type is the serving API: a long-lived, concurrency-safe
+// service for one physical deployment. It owns a versioned fingerprint
+// store — every Update or Install publishes an immutable Snapshot swapped
+// in behind an atomic pointer — so continuous database refresh runs while
+// localization traffic (Locate, LocateCell, LocateMultiple, and the
+// worker-pool-backed LocateBatch) reads lock-free. Updates exposes a
+// subscription over version rollovers; Snapshot pins one version for
+// consistent multi-query reads. Data crosses the API boundary as the
+// typed Matrix and Mask values (flat column-major storage, no per-call
+// row-slice conversion).
+//
+// The Testbed type provides the full simulated deployment (radio
+// propagation, human target, drift, survey campaigns) used by the
+// examples and by the experiment reproduction in internal/eval, and
+// cmd/iupdater's serve mode runs a Deployment behind an HTTP/JSON
+// interface.
 //
 // A minimal session:
 //
 //	tb := iupdater.NewTestbed(iupdater.Office(), 1)
-//	original, _ := tb.Survey(0, 50)
-//	p, _ := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
-//	// ... 45 days later ...
+//	dep, _, _ := tb.Deploy(0, 50)
+//	refs, _ := dep.ReferenceLocations()
+//	// ... 45 days later, refresh from 8 reference columns ...
 //	t45 := 45 * 24 * time.Hour
-//	fresh, _ := p.Update(
-//	    tb.NoDecreaseScan(t45), tb.KnownMask(),
-//	    tb.MeasureColumns(t45, p.ReferenceLocations()))
-//	loc, _ := iupdater.NewLocalizer(fresh, tb.Geometry())
-//	x, y, _ := loc.Locate(tb.MeasureOnline(6.0, 4.5, t45))
+//	cols, _ := tb.ReferenceMatrix(t45, refs)
+//	snap, _ := dep.Update(tb.NoDecreaseMatrix(t45), tb.Mask(), cols)
+//	fmt.Println("serving fingerprint database v", snap.Version())
+//	pos, _ := dep.Locate(tb.MeasureOnline(6.0, 4.5, t45))
+//
+// The deprecated Pipeline and Localizer types are thin shims over
+// Deployment kept for callers of the original one-shot [][]float64 API.
 package iupdater

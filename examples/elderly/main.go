@@ -1,14 +1,18 @@
 // Elderly monitoring over three months: the paper's long-term scenario.
 //
-// A monitored flat (modeled by the office environment) runs for 90 days.
-// Without updates the fingerprint database goes stale and localization
-// degrades; with iUpdater, a caregiver refreshes it at each visit by
-// standing at 8 reference spots — under a minute of extra work. The
-// example follows localization accuracy at each checkpoint and raises a
-// (simulated) alert when the resident dwells in a watched zone.
+// A monitored flat (modeled by the office environment) runs for 90 days
+// as a long-lived Deployment service. Without updates the fingerprint
+// database goes stale and localization degrades; with iUpdater, a
+// caregiver refreshes it at each visit by standing at 8 reference spots —
+// under a minute of extra work. Each refresh publishes a new fingerprint
+// snapshot (observed here through the Updates subscription) while
+// localization queries keep flowing; the example follows accuracy at each
+// checkpoint and raises a (simulated) alert when the resident dwells in a
+// watched zone.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,13 +26,25 @@ const day = 24 * time.Hour
 
 func main() {
 	tb := iupdater.NewTestbed(iupdater.Office(), 11)
-	original, _ := tb.Survey(0, 50)
-	pipeline, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	dep, _, err := tb.Deploy(0, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
-	refs := pipeline.ReferenceLocations()
+	refs, err := dep.ReferenceLocations()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("caregiver refresh spots: %v\n\n", refs)
+
+	// The stale baseline keeps serving the original snapshot.
+	stale, err := iupdater.NewDeployment(dep.Snapshot().Fingerprints(), tb.Geometry())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the database versions roll over as the caregiver refreshes.
+	updates, cancel := dep.Updates()
+	defer cancel()
 
 	g := tb.Geometry()
 	// Watched zone: the far corner of the flat (e.g. the bathroom).
@@ -37,68 +53,73 @@ func main() {
 	fmt.Println("checkpoint   refreshed-db error   stale-db error   zone alert")
 	rng := rand.New(rand.NewSource(42))
 	checkpoints := []int{15, 30, 45, 60, 75, 90}
-	latest := original
 	for _, d := range checkpoints {
 		at := time.Duration(d) * day
 
 		// Caregiver visit: refresh the database (8 reference columns).
-		fresh, err := pipeline.Update(
-			tb.NoDecreaseScan(at), tb.KnownMask(), tb.MeasureColumns(at, refs))
-		if err != nil {
-			log.Fatal(err)
-		}
-		latest = fresh
-
-		freshLoc, err := iupdater.NewLocalizer(fresh, g)
-		if err != nil {
-			log.Fatal(err)
-		}
-		staleLoc, err := iupdater.NewLocalizer(original, g)
-		if err != nil {
+		// Queries served concurrently never see a torn database — the new
+		// snapshot is swapped in atomically.
+		cols, _ := tb.ReferenceMatrix(at, refs)
+		if _, err := dep.Update(tb.NoDecreaseMatrix(at), tb.Mask(), cols); err != nil {
 			log.Fatal(err)
 		}
 
 		// The resident dwells at their usual spots (chair, bed, kitchen
 		// counter — modeled as grid cells with a little standing jitter);
-		// measure accuracy at twenty dwell events.
-		var freshSum, staleSum float64
+		// measure accuracy at twenty dwell events with one batch query.
 		const positions = 20
+		targets := make([][2]float64, positions)
+		batch := make([][]float64, positions)
 		for k := 0; k < positions; k++ {
 			cx, cy := tb.CellCenter(rng.Intn(tb.NumCells()))
 			tx := cx + (rng.Float64()-0.5)*0.4
 			ty := cy + (rng.Float64()-0.5)*0.4
-			rss := tb.MeasureOnline(tx, ty, at+time.Duration(k+1)*10*time.Minute)
-			fx, fy, err := freshLoc.Locate(rss)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sx, sy, err := staleLoc.Locate(rss)
-			if err != nil {
-				log.Fatal(err)
-			}
-			freshSum += math.Hypot(fx-tx, fy-ty)
-			staleSum += math.Hypot(sx-tx, sy-ty)
+			targets[k] = [2]float64{tx, ty}
+			batch[k] = tb.MeasureOnline(tx, ty, at+time.Duration(k+1)*10*time.Minute)
+		}
+		freshEst, err := dep.LocateBatch(context.Background(), batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		staleEst, err := stale.LocateBatch(context.Background(), batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var freshSum, staleSum float64
+		for k := range targets {
+			freshSum += math.Hypot(freshEst[k].X-targets[k][0], freshEst[k].Y-targets[k][1])
+			staleSum += math.Hypot(staleEst[k].X-targets[k][0], staleEst[k].Y-targets[k][1])
 		}
 
 		// Evening: the resident dwells in the watched zone; does the
 		// refreshed system notice?
 		rss := tb.MeasureOnline(zoneX, zoneY, at+8*time.Hour)
-		zx, zy, err := freshLoc.Locate(rss)
+		z, err := dep.Locate(rss)
 		if err != nil {
 			log.Fatal(err)
 		}
 		alert := "-"
-		if math.Hypot(zx-zoneX, zy-zoneY) < 2.0 {
+		if math.Hypot(z.X-zoneX, z.Y-zoneY) < 2.0 {
 			alert = "raised"
 		}
-		fmt.Printf("day %3d      %.2f m               %.2f m           %s\n",
-			d, freshSum/positions, staleSum/positions, alert)
+		version := uint64(0)
+		select {
+		case snap := <-updates:
+			version = snap.Version()
+		default:
+		}
+		fmt.Printf("day %3d      %.2f m               %.2f m           %-8s (db v%d)\n",
+			d, freshSum/positions, staleSum/positions, alert, version)
 	}
 
-	// Keep the pipeline tracking the latest database state for the next
+	// Keep the deployment tracking the latest database state for the next
 	// quarter (Fig 10's feedback loop).
-	if err := pipeline.Refresh(latest); err != nil {
+	if err := dep.Refresh(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nnext-quarter refresh spots: %v\n", pipeline.ReferenceLocations())
+	nextRefs, err := dep.ReferenceLocations()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnext-quarter refresh spots: %v\n", nextRefs)
 }

@@ -2,12 +2,14 @@
 // where the target cannot be asked to carry a device.
 //
 // The hall's fingerprint database is 30 days old. The example refreshes
-// it with iUpdater, then tracks an intruder walking a diagonal path
-// through the monitored area, comparing the track quality against the
-// stale database a traditional deployment would be stuck with.
+// it through a Deployment — the long-lived serving API — then tracks an
+// intruder walking a diagonal path through the monitored area with one
+// LocateBatch call, comparing the track quality against the stale
+// database a traditional deployment would be stuck with.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,9 +24,14 @@ func main() {
 	fmt.Printf("monitoring a %.0f m x %.0f m hall with %d links\n",
 		g.WidthM, g.HeightM, g.Links)
 
-	// The database was surveyed a month ago.
-	original, _ := tb.Survey(0, 50)
-	pipeline, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	// The database was surveyed a month ago. The live deployment gets
+	// refreshed; a second deployment keeps serving the stale snapshot for
+	// comparison.
+	dep, _, err := tb.Deploy(0, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stale, err := iupdater.NewDeployment(dep.Snapshot().Fingerprints(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,48 +39,50 @@ func main() {
 	// Tonight, before arming the system, refresh the database: a guard
 	// walks to the 8 reference spots (under a minute of work).
 	now := 30 * 24 * time.Hour
-	fresh, err := pipeline.Update(
-		tb.NoDecreaseScan(now), tb.KnownMask(),
-		tb.MeasureColumns(now, pipeline.ReferenceLocations()))
+	refs, err := dep.ReferenceLocations()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	freshLoc, err := iupdater.NewLocalizer(fresh, tb.Geometry())
+	cols, _ := tb.ReferenceMatrix(now, refs)
+	snap, err := dep.Update(tb.NoDecreaseMatrix(now), tb.Mask(), cols)
 	if err != nil {
 		log.Fatal(err)
 	}
-	staleLoc, err := iupdater.NewLocalizer(original, tb.Geometry())
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("database refreshed: snapshot v%d\n", snap.Version())
 
 	// 2 a.m.: an intruder crosses the hall on a diagonal, one step per
-	// two seconds.
-	fmt.Println("\n t(s)   true (m)      fresh estimate    stale estimate")
+	// two seconds. The camera-style track is one batch query.
 	const steps = 12
-	var freshSum, staleSum float64
+	truth := make([][2]float64, steps+1)
+	batch := make([][]float64, steps+1)
 	for k := 0; k <= steps; k++ {
 		frac := float64(k) / steps
 		tx := 0.8 + frac*(g.WidthM-1.6)
 		ty := 0.8 + frac*(g.HeightM-1.6)
 		at := now + 2*time.Hour + time.Duration(2*k)*time.Second
+		truth[k] = [2]float64{tx, ty}
+		batch[k] = tb.MeasureOnline(tx, ty, at)
+	}
+	freshEst, err := dep.LocateBatch(context.Background(), batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staleEst, err := stale.LocateBatch(context.Background(), batch)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-		rss := tb.MeasureOnline(tx, ty, at)
-		fx, fy, err := freshLoc.Locate(rss)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sx, sy, err := staleLoc.Locate(rss)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fe := math.Hypot(fx-tx, fy-ty)
-		se := math.Hypot(sx-tx, sy-ty)
+	fmt.Println("\n t(s)   true (m)      fresh estimate    stale estimate")
+	var freshSum, staleSum float64
+	for k := 0; k <= steps; k++ {
+		tx, ty := truth[k][0], truth[k][1]
+		f, s := freshEst[k], staleEst[k]
+		fe := math.Hypot(f.X-tx, f.Y-ty)
+		se := math.Hypot(s.X-tx, s.Y-ty)
 		freshSum += fe
 		staleSum += se
 		fmt.Printf("%4d   (%4.1f,%4.1f)   (%4.1f,%4.1f) %4.1fm   (%4.1f,%4.1f) %4.1fm\n",
-			2*k, tx, ty, fx, fy, fe, sx, sy, se)
+			2*k, tx, ty, f.X, f.Y, fe, s.X, s.Y, se)
 	}
 	fmt.Printf("\nmean tracking error: %.2f m refreshed vs %.2f m stale\n",
 		freshSum/(steps+1), staleSum/(steps+1))

@@ -61,25 +61,29 @@ func main() {
 	// labor buys: accuracy within a few percent of a full re-survey.
 	fmt.Println("\nbase-deployment refresh after 30 days:")
 	tb := iupdater.NewTestbed(iupdater.Office(), 21)
-	original, fullLabor := tb.Survey(0, 50)
-	pipeline, err := iupdater.NewPipeline(original, tb.Links(), tb.PerStrip())
+	dep, fullLabor, err := tb.Deploy(0, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs, err := dep.ReferenceLocations()
 	if err != nil {
 		log.Fatal(err)
 	}
 	at := 30 * 24 * time.Hour
-	columns, refLabor := tb.MeasureColumnsLabor(at, pipeline.ReferenceLocations())
-	fresh, err := pipeline.Update(tb.NoDecreaseScan(at), tb.KnownMask(), columns)
+	columns, refLabor := tb.ReferenceMatrix(at, refs)
+	snap, err := dep.Update(tb.NoDecreaseMatrix(at), tb.Mask(), columns)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := tb.TrueFingerprints(at)
-	known := tb.KnownMask()
+	fresh := snap.Fingerprints()
+	truth := tb.TrueMatrix(at)
+	known := tb.Mask()
 	var freshErr float64
 	var n int
-	for i := range truth {
-		for j := range truth[i] {
-			if !known[i][j] {
-				freshErr += math.Abs(fresh[i][j] - truth[i][j])
+	for i := 0; i < truth.Rows(); i++ {
+		for j := 0; j < truth.Cols(); j++ {
+			if !known.Known(i, j) {
+				freshErr += math.Abs(fresh.At(i, j) - truth.At(i, j))
 				n++
 			}
 		}

@@ -1,0 +1,3 @@
+module iupdater
+
+go 1.24

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"iupdater/internal/core"
 	"iupdater/internal/fingerprint"
 	"iupdater/internal/geom"
+	"iupdater/internal/loc"
 	"iupdater/internal/mat"
 	"iupdater/internal/testbed"
 )
@@ -107,23 +109,30 @@ func TestPoints(g geom.Grid, seed int64, n int) []geom.Point {
 }
 
 // PointLocalizer estimates continuous positions from online measurements.
+// Implementations must be safe for concurrent use: the evaluation
+// protocol fans localization out over a worker pool.
 type PointLocalizer interface {
 	LocatePoint(y []float64) (geom.Point, error)
 }
 
 // LocalizationErrors runs the standard online protocol against a
 // localizer: TargetsPerRun targets, OnlineSamples readings each, Euclid
-// distance errors returned.
+// distance errors returned. Measurement generation is sequential (the
+// simulator stream is seeded per attempt) and the localization calls are
+// batched over all CPUs; the result is identical to the serial protocol.
 func (sc *Scenario) LocalizationErrors(l PointLocalizer, tOnline float64, seed int64) ([]float64, error) {
 	pts := TestPoints(sc.Surveyor.Channel.Grid(), seed, TargetsPerRun)
-	errs := make([]float64, 0, len(pts))
+	ys := make([][]float64, len(pts))
 	for k, p := range pts {
-		y := sc.Surveyor.MeasureOnline(p, tOnline+float64(k)*40, OnlineSamples)
-		est, err := l.LocatePoint(y)
-		if err != nil {
-			return nil, fmt.Errorf("eval: localization attempt %d: %w", k, err)
-		}
-		errs = append(errs, est.Distance(p))
+		ys[k] = sc.Surveyor.MeasureOnline(p, tOnline+float64(k)*40, OnlineSamples)
+	}
+	ests, err := loc.LocatePoints(context.Background(), l, ys, 0)
+	if err != nil {
+		return nil, fmt.Errorf("eval: localization: %w", err)
+	}
+	errs := make([]float64, len(pts))
+	for k, est := range ests {
+		errs[k] = est.Distance(pts[k])
 	}
 	return errs, nil
 }

@@ -1,0 +1,94 @@
+package loc
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iupdater/internal/geom"
+)
+
+// PointLocalizer estimates a continuous position from one online RSS
+// vector. Implementations must be safe for concurrent use: LocatePoint is
+// fanned out over worker goroutines by LocatePoints.
+type PointLocalizer interface {
+	LocatePoint(y []float64) (geom.Point, error)
+}
+
+// LocatePoints localizes every measurement in ys against l, fanning the
+// work out over a bounded pool of workers (<= 0 selects GOMAXPROCS).
+// Results are returned in input order. The first localization error, or
+// the context's error if it is canceled first, aborts the remaining work.
+func LocatePoints(ctx context.Context, l PointLocalizer, ys [][]float64, workers int) ([]geom.Point, error) {
+	if len(ys) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ys) {
+		workers = len(ys)
+	}
+	out := make([]geom.Point, len(ys))
+	if workers == 1 {
+		for k, y := range ys {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := l.LocatePoint(y)
+			if err != nil {
+				return nil, fmt.Errorf("loc: batch measurement %d: %w", k, err)
+			}
+			out[k] = p
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				k := int(next.Add(1)) - 1
+				if k >= len(ys) {
+					return
+				}
+				p, err := l.LocatePoint(ys[k])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loc: batch measurement %d: %w", k, err)
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				out[k] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,59 +1,40 @@
 package iupdater
 
-import (
-	"fmt"
+import "fmt"
 
-	"iupdater/internal/geom"
-	"iupdater/internal/loc"
-)
-
-// Geometry describes the deployment layout needed to turn fingerprint
-// column indices into positions: the area dimensions and the strip-major
-// grid shape.
-type Geometry struct {
-	// WidthM is the extent along the links (TX->RX), meters.
-	WidthM float64
-	// HeightM is the extent across the links, meters.
-	HeightM float64
-	// Links is the number of parallel links M.
-	Links int
-	// PerStrip is the number of grid cells along each link K (N = M*K).
-	PerStrip int
-}
-
-func (g Geometry) grid() geom.Grid {
-	return geom.NewGrid(g.WidthM, g.HeightM, g.Links, g.PerStrip)
-}
-
-// Localizer estimates device-free target positions by matching online RSS
-// vectors against a fingerprint matrix with the paper's greedy orthogonal
-// matching pursuit (Eqns 26-27).
+// Localizer is the legacy one-shot facade over the paper's OMP-based
+// target localization, operating on raw [][]float64 row slices.
+//
+// Deprecated: use Deployment (or query a pinned Snapshot directly), which
+// shares one localizer across calls and supports batch queries. Localizer
+// is a thin shim kept so existing callers compile.
 type Localizer struct {
-	omp *loc.OMPPoint
-	g   geom.Grid
+	d *Deployment
 }
 
 // NewLocalizer builds a localizer over the fingerprint matrix
 // (fingerprints[i][j] = RSS of link i, target at location j) laid out on
 // the given geometry.
+//
+// Deprecated: use NewDeployment.
 func NewLocalizer(fingerprints [][]float64, g Geometry) (*Localizer, error) {
-	x, err := toDense(fingerprints)
+	m, err := MatrixFromRows(fingerprints)
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: fingerprint matrix: %w", err)
 	}
-	grid := g.grid()
-	if m, n := x.Dims(); m != g.Links || n != grid.NumCells() {
-		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", m, n, g.Links, grid.NumCells())
+	d, err := NewDeployment(m, g)
+	if err != nil {
+		return nil, err
 	}
-	return &Localizer{omp: loc.NewOMPPoint(x, grid, loc.OMPConfig{}), g: grid}, nil
+	return &Localizer{d: d}, nil
 }
 
 // Locate returns the estimated target position in meters for the online
 // measurement rss (one averaged reading per link).
 func (l *Localizer) Locate(rss []float64) (x, y float64, err error) {
-	p, err := l.omp.LocatePoint(rss)
+	p, err := l.d.Locate(rss)
 	if err != nil {
-		return 0, 0, fmt.Errorf("iupdater: %w", err)
+		return 0, 0, err
 	}
 	return p.X, p.Y, nil
 }
@@ -61,37 +42,17 @@ func (l *Localizer) Locate(rss []float64) (x, y float64, err error) {
 // LocateCell returns the estimated grid cell index (strip-major) for the
 // online measurement.
 func (l *Localizer) LocateCell(rss []float64) (int, error) {
-	cell, err := l.omp.Locate(rss)
-	if err != nil {
-		return 0, fmt.Errorf("iupdater: %w", err)
-	}
-	return cell, nil
+	return l.d.LocateCell(rss)
 }
 
 // CellCenter returns the position of a grid cell's center in meters.
 func (l *Localizer) CellCenter(cell int) (x, y float64) {
-	p := l.g.Center(cell)
+	p := l.d.CellCenter(cell)
 	return p.X, p.Y
 }
 
-// Position is a point estimate in meters.
-type Position struct {
-	X, Y float64
-}
-
 // LocateMultiple estimates up to maxTargets simultaneous device-free
-// targets from one online measurement by successive interference
-// cancellation on the OMP matcher (an extension beyond the paper's
-// single-target formulation). Fewer estimates are returned when the
-// measurement does not support more.
+// targets from one online measurement.
 func (l *Localizer) LocateMultiple(rss []float64, maxTargets int) ([]Position, error) {
-	pts, err := l.omp.LocateMultiple(rss, maxTargets, 0)
-	if err != nil {
-		return nil, fmt.Errorf("iupdater: %w", err)
-	}
-	out := make([]Position, len(pts))
-	for i, p := range pts {
-		out[i] = Position{X: p.X, Y: p.Y}
-	}
-	return out, nil
+	return l.d.LocateMultiple(rss, maxTargets)
 }

@@ -1,0 +1,237 @@
+package iupdater
+
+import (
+	"errors"
+	"fmt"
+
+	"iupdater/internal/fingerprint"
+	"iupdater/internal/mat"
+)
+
+// Matrix is the public fingerprint-matrix type: an M-link by N-location
+// table of RSS readings backed by flat column-major storage. Columns are
+// the unit of work everywhere in iUpdater (a column is one location's
+// fingerprint), so ColView exposes a column as a contiguous slice without
+// copying.
+//
+// A Matrix value shares its backing storage with copies of itself; use
+// Clone for an independent matrix. Matrices handed to or returned from a
+// Deployment must not be mutated afterwards — the Deployment publishes
+// them in immutable snapshots read concurrently by query traffic.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // column-major: data[j*rows+i]
+}
+
+// NewMatrix returns a zero-initialized rows x cols matrix.
+func NewMatrix(rows, cols int) (Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return Matrix{}, fmt.Errorf("iupdater: non-positive matrix dimensions %dx%d", rows, cols)
+	}
+	return Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// MatrixFromRows builds a Matrix from row slices (rows[i][j] = link i,
+// location j). All rows must have equal non-zero length.
+func MatrixFromRows(rows [][]float64) (Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return Matrix{}, errors.New("iupdater: empty matrix")
+	}
+	c := len(rows[0])
+	for i, r := range rows {
+		if len(r) != c {
+			return Matrix{}, fmt.Errorf("iupdater: ragged row %d: %d values, want %d", i, len(r), c)
+		}
+	}
+	m := Matrix{rows: len(rows), cols: c, data: make([]float64, len(rows)*c)}
+	for i, r := range rows {
+		for j, v := range r {
+			m.data[j*m.rows+i] = v
+		}
+	}
+	return m, nil
+}
+
+// matrixFromDense converts an internal row-major dense matrix.
+func matrixFromDense(d *mat.Dense) Matrix {
+	r, c := d.Dims()
+	m := Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+	raw := d.RawData()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.data[j*r+i] = raw[i*c+j]
+		}
+	}
+	return m
+}
+
+// dense converts to the internal row-major representation (one copy).
+func (m Matrix) dense() *mat.Dense {
+	d := mat.New(m.rows, m.cols)
+	raw := d.RawData()
+	for j := 0; j < m.cols; j++ {
+		col := m.data[j*m.rows : (j+1)*m.rows]
+		for i, v := range col {
+			raw[i*m.cols+j] = v
+		}
+	}
+	return d
+}
+
+// IsZero reports whether m is the zero Matrix (no storage).
+func (m Matrix) IsZero() bool { return m.rows == 0 }
+
+// Dims returns the number of links (rows) and locations (columns).
+func (m Matrix) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows returns the number of links.
+func (m Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of locations.
+func (m Matrix) Cols() int { return m.cols }
+
+// At returns the RSS of link i at location j.
+func (m Matrix) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[j*m.rows+i]
+}
+
+// Set assigns the RSS of link i at location j. Do not call Set on a
+// matrix that has been handed to a Deployment.
+func (m Matrix) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[j*m.rows+i] = v
+}
+
+func (m Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("iupdater: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// ColView returns location j's fingerprint as a view into the backing
+// storage — no allocation. The caller must not modify the returned slice.
+func (m Matrix) ColView(j int) []float64 {
+	m.checkIndex(0, j)
+	return m.data[j*m.rows : (j+1)*m.rows]
+}
+
+// Col returns a copy of location j's fingerprint.
+func (m Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	copy(out, m.ColView(j))
+	return out
+}
+
+// Row returns a copy of link i's readings across all locations.
+func (m Matrix) Row(i int) []float64 {
+	m.checkIndex(i, 0)
+	out := make([]float64, m.cols)
+	for j := 0; j < m.cols; j++ {
+		out[j] = m.data[j*m.rows+i]
+	}
+	return out
+}
+
+// ToRows converts to row slices for interoperation with the deprecated
+// [][]float64 API.
+func (m Matrix) ToRows() [][]float64 {
+	out := make([][]float64, m.rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy with independent storage.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
+	copy(out.data, m.data)
+	return out
+}
+
+// Mask is the public no-decrease index (the paper's matrix B): Known(i, j)
+// reports that link i's reading at location j can be measured without the
+// target present (zero labor). Like Matrix it is backed by flat
+// column-major storage and shares that storage across copies.
+type Mask struct {
+	rows, cols int
+	known      []bool // column-major: known[j*rows+i]
+}
+
+// MaskFromRows builds a Mask from row slices of known flags.
+func MaskFromRows(rows [][]bool) (Mask, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return Mask{}, errors.New("iupdater: empty mask")
+	}
+	c := len(rows[0])
+	for i, r := range rows {
+		if len(r) != c {
+			return Mask{}, fmt.Errorf("iupdater: ragged mask row %d", i)
+		}
+	}
+	k := Mask{rows: len(rows), cols: c, known: make([]bool, len(rows)*c)}
+	for i, r := range rows {
+		for j, v := range r {
+			k.known[j*k.rows+i] = v
+		}
+	}
+	return k, nil
+}
+
+// maskFromFingerprint converts the internal mask representation.
+func maskFromFingerprint(fm fingerprint.Mask) Mask {
+	rows, cols := fm.B.Dims()
+	k := Mask{rows: rows, cols: cols, known: make([]bool, rows*cols)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			k.known[j*rows+i] = fm.Known(i, j)
+		}
+	}
+	return k
+}
+
+// fingerprintMask converts to the internal representation.
+func (k Mask) fingerprintMask() fingerprint.Mask {
+	return fingerprint.NewMask(k.rows, k.cols, func(i, j int) bool {
+		return !k.known[j*k.rows+i]
+	})
+}
+
+// IsZero reports whether k is the zero Mask.
+func (k Mask) IsZero() bool { return k.rows == 0 }
+
+// Dims returns the number of links and locations.
+func (k Mask) Dims() (rows, cols int) { return k.rows, k.cols }
+
+// Known reports whether entry (i, j) is measurable without the target.
+func (k Mask) Known(i, j int) bool {
+	if i < 0 || i >= k.rows || j < 0 || j >= k.cols {
+		panic(fmt.Sprintf("iupdater: index (%d,%d) out of range for %dx%d mask", i, j, k.rows, k.cols))
+	}
+	return k.known[j*k.rows+i]
+}
+
+// KnownCount returns the number of zero-labor entries.
+func (k Mask) KnownCount() int {
+	var n int
+	for _, v := range k.known {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// ToRows converts to row slices for interoperation with the deprecated
+// [][]bool API.
+func (k Mask) ToRows() [][]bool {
+	out := make([][]bool, k.rows)
+	for i := range out {
+		out[i] = make([]bool, k.cols)
+		for j := 0; j < k.cols; j++ {
+			out[i][j] = k.known[j*k.rows+i]
+		}
+	}
+	return out
+}

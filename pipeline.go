@@ -1,181 +1,90 @@
 package iupdater
 
-import (
-	"errors"
-	"fmt"
+import "fmt"
 
-	"iupdater/internal/core"
-	"iupdater/internal/fingerprint"
-	"iupdater/internal/mat"
-)
-
-// Pipeline is the iUpdater fingerprint-update pipeline bound to one
-// deployment: it holds the reference locations (MIC of the latest
-// fingerprint matrix) and the inherent correlation matrix Z, and
-// reconstructs fresh fingerprint matrices from cheap measurements.
+// Pipeline is the legacy one-shot facade over the iUpdater fingerprint
+// update algorithm, operating on raw [][]float64 row slices.
 //
-// Construct with NewPipeline; the zero value is not usable.
+// Deprecated: use Deployment, which serves concurrent localization
+// traffic from versioned snapshots and accepts the typed Matrix/Mask API.
+// Pipeline is a thin shim kept so existing callers compile.
 type Pipeline struct {
-	updater  *core.Updater
-	links    int
-	perStrip int
-}
-
-// PipelineOption configures NewPipeline.
-type PipelineOption func(*pipelineConfig)
-
-type pipelineConfig struct {
-	numRefs   int
-	paperInit bool
-	noC1      bool
-	noC2      bool
-}
-
-// WithReferenceCount overrides the number of reference locations (default:
-// the number of links, the paper's minimal choice).
-func WithReferenceCount(n int) PipelineOption {
-	return func(c *pipelineConfig) { c.numRefs = n }
-}
-
-// WithPaperInitialization switches the solver to Algorithm 1's random
-// initialization instead of the default truncated-SVD warm start.
-func WithPaperInitialization() PipelineOption {
-	return func(c *pipelineConfig) { c.paperInit = true }
-}
-
-// WithoutReferenceConstraint disables Constraint 1 (for ablation).
-func WithoutReferenceConstraint() PipelineOption {
-	return func(c *pipelineConfig) { c.noC1 = true }
-}
-
-// WithoutStabilityConstraint disables Constraint 2 (for ablation).
-func WithoutStabilityConstraint() PipelineOption {
-	return func(c *pipelineConfig) { c.noC2 = true }
+	d *Deployment
 }
 
 // NewPipeline builds the pipeline from the original (or latest updated)
 // fingerprint matrix: original[i][j] is the RSS of link i with the target
 // at location j, with locations strip-major (location j belongs to link
 // j/perStrip). links*perStrip must match the matrix shape.
+//
+// Deprecated: use NewDeployment.
 func NewPipeline(original [][]float64, links, perStrip int, opts ...PipelineOption) (*Pipeline, error) {
-	var cfg pipelineConfig
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	x, err := toDense(original)
+	m, err := MatrixFromRows(original)
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: original matrix: %w", err)
 	}
-	m, n := x.Dims()
-	if m != links || n != links*perStrip {
-		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", m, n, links, links*perStrip)
-	}
-	ucfg := core.DefaultUpdaterConfig()
-	ucfg.NumReferences = cfg.numRefs
-	if cfg.paperInit {
-		ucfg.Reconstruction = []core.Option{core.WithWarmStart(false)}
-	}
-	if cfg.noC1 {
-		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConstraint1(false))
-	}
-	if cfg.noC2 {
-		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConstraint2(false))
-	}
-	up, err := core.NewUpdater(fingerprint.New(x, 0), ucfg)
+	// The pipeline never produced metric positions, so a synthetic
+	// unit-cell geometry stands in for the unknown physical layout.
+	g := Geometry{WidthM: float64(perStrip), HeightM: float64(links), Links: links, PerStrip: perStrip}
+	d, err := NewDeployment(m, g, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("iupdater: %w", err)
+		return nil, err
 	}
-	return &Pipeline{updater: up, links: links, perStrip: perStrip}, nil
+	// The legacy constructor acquired the correlation state eagerly and
+	// surfaced its errors here; force the lazy initialization now.
+	if _, err := d.ReferenceLocations(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{d: d}, nil
 }
 
 // ReferenceLocations returns the location indices (ascending) where fresh
-// full-column measurements must be taken for each update — the maximum
-// independent columns of the latest fingerprint matrix.
+// full-column measurements must be taken for each update.
+//
+// Deprecated: use Deployment.ReferenceLocations.
 func (p *Pipeline) ReferenceLocations() []int {
-	return p.updater.ReferenceLocations()
+	refs, err := p.d.ReferenceLocations()
+	if err != nil {
+		return nil
+	}
+	return refs
 }
 
-// Update reconstructs the current fingerprint matrix from:
+// Update reconstructs the current fingerprint matrix from the zero-labor
+// no-decrease scan, its known mask, and fresh measurements at
+// ReferenceLocations().
 //
-//   - noDecrease: the zero-labor measurements; noDecrease[i][j] is link
-//     i's fresh target-free reading where known[i][j] is true, ignored
-//     elsewhere;
-//   - known: the no-decrease index (true = measurable without target);
-//   - references: fresh measurements at ReferenceLocations();
-//     references[i][k] is link i's reading with the target at the k-th
-//     reference location.
+// Deprecated: use Deployment.Update.
 func (p *Pipeline) Update(noDecrease [][]float64, known [][]bool, references [][]float64) ([][]float64, error) {
-	xbRaw, err := toDense(noDecrease)
+	xb, err := MatrixFromRows(noDecrease)
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: no-decrease matrix: %w", err)
 	}
-	mask, err := toMask(known)
+	mask, err := MaskFromRows(known)
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: known mask: %w", err)
 	}
-	xr, err := toDense(references)
+	xr, err := MatrixFromRows(references)
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: reference matrix: %w", err)
 	}
-	// Zero out the unknown entries so B ∘ X̂ = X_B holds exactly.
-	xb := mask.Project(xbRaw)
-	updated, _, err := p.updater.Update(xb, mask, xr, 0)
+	snap, err := p.d.Update(xb, mask, xr)
 	if err != nil {
-		return nil, fmt.Errorf("iupdater: %w", err)
+		return nil, err
 	}
-	return fromDense(updated.X), nil
+	return snap.Fingerprints().ToRows(), nil
 }
 
 // Refresh re-runs reference selection and correlation acquisition on a
 // newly updated (or freshly surveyed) matrix, so that subsequent updates
 // track the latest database state.
+//
+// Deprecated: use Deployment.Install.
 func (p *Pipeline) Refresh(latest [][]float64) error {
-	x, err := toDense(latest)
+	m, err := MatrixFromRows(latest)
 	if err != nil {
 		return fmt.Errorf("iupdater: latest matrix: %w", err)
 	}
-	if m, n := x.Dims(); m != p.links || n != p.links*p.perStrip {
-		return fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", m, n, p.links, p.links*p.perStrip)
-	}
-	if err := p.updater.Refresh(fingerprint.New(x, 0)); err != nil {
-		return fmt.Errorf("iupdater: %w", err)
-	}
-	return nil
-}
-
-func toDense(rows [][]float64) (*mat.Dense, error) {
-	if len(rows) == 0 || len(rows[0]) == 0 {
-		return nil, errors.New("empty matrix")
-	}
-	c := len(rows[0])
-	for i, r := range rows {
-		if len(r) != c {
-			return nil, fmt.Errorf("ragged row %d: %d values, want %d", i, len(r), c)
-		}
-	}
-	return mat.NewFromRows(rows), nil
-}
-
-func fromDense(m *mat.Dense) [][]float64 {
-	r, _ := m.Dims()
-	out := make([][]float64, r)
-	for i := range out {
-		out[i] = m.Row(i)
-	}
-	return out
-}
-
-func toMask(known [][]bool) (fingerprint.Mask, error) {
-	if len(known) == 0 || len(known[0]) == 0 {
-		return fingerprint.Mask{}, errors.New("empty mask")
-	}
-	cols := len(known[0])
-	for i, r := range known {
-		if len(r) != cols {
-			return fingerprint.Mask{}, fmt.Errorf("ragged mask row %d", i)
-		}
-	}
-	return fingerprint.NewMask(len(known), cols, func(i, j int) bool {
-		return !known[i][j]
-	}), nil
+	_, err = p.d.Install(m)
+	return err
 }

@@ -64,69 +64,71 @@ func (t *Testbed) PerStrip() int { return t.env.Grid.PerStrip }
 // NumCells returns N = M*K.
 func (t *Testbed) NumCells() int { return t.env.NumCells() }
 
-// Geometry returns the deployment geometry for building a Localizer.
+// Geometry returns the deployment geometry for building a Deployment.
 func (t *Testbed) Geometry() Geometry {
 	g := t.env.Grid
 	return Geometry{WidthM: g.Width, HeightM: g.Height, Links: g.Links, PerStrip: g.PerStrip}
 }
 
-// Survey performs a full human site survey at the given elapsed time: the
-// target visits every grid cell while every link collects
+// SurveyMatrix performs a full human site survey at the given elapsed
+// time: the target visits every grid cell while every link collects
 // samplesPerLocation readings. This is the traditional (expensive) way to
 // build or refresh the database.
-func (t *Testbed) Survey(at time.Duration, samplesPerLocation int) ([][]float64, LaborCost) {
+func (t *Testbed) SurveyMatrix(at time.Duration, samplesPerLocation int) (Matrix, LaborCost) {
 	fp, labor := t.s.FullSurvey(at.Seconds(), samplesPerLocation)
-	return fromDense(fp.X), LaborCost{
+	return matrixFromDense(fp.X), LaborCost{
 		Locations: labor.Locations,
 		Duration:  time.Duration(labor.Seconds * float64(time.Second)),
 	}
 }
 
-// NoDecreaseScan measures the no-decrease entries at the given time
-// without the target — the zero-labor input to Pipeline.Update.
-func (t *Testbed) NoDecreaseScan(at time.Duration) [][]float64 {
-	return fromDense(t.s.NoDecreaseScan(at.Seconds(), testbed.IUpdaterSamples))
+// Deploy surveys the deployment at the given elapsed time and builds a
+// Deployment serving the surveyed database, returning the survey's labor
+// cost alongside.
+func (t *Testbed) Deploy(at time.Duration, samplesPerLocation int, opts ...Option) (*Deployment, LaborCost, error) {
+	m, labor := t.SurveyMatrix(at, samplesPerLocation)
+	d, err := NewDeployment(m, t.Geometry(), opts...)
+	return d, labor, err
 }
 
-// KnownMask returns the no-decrease index: known[i][j] is true when link
-// i does not react to a target at cell j.
-func (t *Testbed) KnownMask() [][]bool {
-	mask := t.s.Mask()
-	out := make([][]bool, t.Links())
-	for i := range out {
-		out[i] = make([]bool, t.NumCells())
-		for j := range out[i] {
-			out[i][j] = mask.Known(i, j)
-		}
-	}
-	return out
+// NoDecreaseMatrix measures the no-decrease entries at the given time
+// without the target — the zero-labor input to Deployment.Update.
+func (t *Testbed) NoDecreaseMatrix(at time.Duration) Matrix {
+	return matrixFromDense(t.s.NoDecreaseScan(at.Seconds(), testbed.IUpdaterSamples))
 }
 
-// MeasureColumns measures fresh full columns at the given locations (the
-// reference survey), with the target present: the labor-cost input to
-// Pipeline.Update. The returned labor covers only these locations.
-func (t *Testbed) MeasureColumns(at time.Duration, locations []int) [][]float64 {
-	xr, _ := t.s.ReferenceSurvey(at.Seconds(), locations, testbed.IUpdaterSamples)
-	return fromDense(xr)
+// Mask returns the no-decrease index: Known(i, j) is true when link i
+// does not react to a target at cell j.
+func (t *Testbed) Mask() Mask {
+	return maskFromFingerprint(t.s.Mask())
 }
 
-// MeasureColumnsLabor is MeasureColumns plus the labor accounting.
-func (t *Testbed) MeasureColumnsLabor(at time.Duration, locations []int) ([][]float64, LaborCost) {
+// ReferenceMatrix measures fresh full columns at the given locations (the
+// reference survey) with the target present — the labor-cost input to
+// Deployment.Update — plus the labor accounting for those locations.
+func (t *Testbed) ReferenceMatrix(at time.Duration, locations []int) (Matrix, LaborCost) {
 	xr, labor := t.s.ReferenceSurvey(at.Seconds(), locations, testbed.IUpdaterSamples)
-	return fromDense(xr), LaborCost{
+	return matrixFromDense(xr), LaborCost{
 		Locations: labor.Locations,
 		Duration:  time.Duration(labor.Seconds * float64(time.Second)),
 	}
+}
+
+// TrueMatrix returns the noise-free fingerprint matrix at the given time:
+// the ideal database a perfect survey would record. Useful as a
+// ground-truth baseline in evaluations.
+func (t *Testbed) TrueMatrix(at time.Duration) Matrix {
+	return matrixFromDense(t.s.TrueFingerprint(at.Seconds()).X)
 }
 
 // MeasureOnline returns one online RSS vector for a target standing at
-// (x, y) meters at the given time — the input to Localizer.Locate.
+// (x, y) meters at the given time — the input to Deployment.Locate.
 func (t *Testbed) MeasureOnline(x, y float64, at time.Duration) []float64 {
 	return t.s.MeasureOnline(geom.Point{X: x, Y: y}, at.Seconds(), testbed.IUpdaterSamples)
 }
 
 // MeasureOnlineMulti returns one online RSS vector with several targets
-// present simultaneously — the input to Localizer.LocateMultiple.
+// present simultaneously — the input to Deployment.LocateMultiple.
 func (t *Testbed) MeasureOnlineMulti(positions [][2]float64, at time.Duration) []float64 {
 	pts := make([]geom.Point, len(positions))
 	for i, p := range positions {
@@ -135,15 +137,56 @@ func (t *Testbed) MeasureOnlineMulti(positions [][2]float64, at time.Duration) [
 	return t.s.MeasureOnlineMulti(pts, at.Seconds(), testbed.IUpdaterSamples)
 }
 
-// TrueFingerprints returns the noise-free fingerprint matrix at the given
-// time: the ideal database a perfect survey would record. Useful as a
-// ground-truth baseline in evaluations.
-func (t *Testbed) TrueFingerprints(at time.Duration) [][]float64 {
-	return fromDense(t.s.TrueFingerprint(at.Seconds()).X)
-}
-
 // CellCenter returns the center of a grid cell in meters.
 func (t *Testbed) CellCenter(cell int) (x, y float64) {
 	p := t.env.Grid.Center(cell)
 	return p.X, p.Y
+}
+
+// Survey is SurveyMatrix with the legacy row-slice return type.
+//
+// Deprecated: use SurveyMatrix.
+func (t *Testbed) Survey(at time.Duration, samplesPerLocation int) ([][]float64, LaborCost) {
+	m, labor := t.SurveyMatrix(at, samplesPerLocation)
+	return m.ToRows(), labor
+}
+
+// NoDecreaseScan is NoDecreaseMatrix with the legacy row-slice return
+// type.
+//
+// Deprecated: use NoDecreaseMatrix.
+func (t *Testbed) NoDecreaseScan(at time.Duration) [][]float64 {
+	return t.NoDecreaseMatrix(at).ToRows()
+}
+
+// KnownMask is Mask with the legacy row-slice return type.
+//
+// Deprecated: use Mask.
+func (t *Testbed) KnownMask() [][]bool {
+	return t.Mask().ToRows()
+}
+
+// MeasureColumns is ReferenceMatrix with the legacy row-slice return type
+// and without the labor accounting.
+//
+// Deprecated: use ReferenceMatrix.
+func (t *Testbed) MeasureColumns(at time.Duration, locations []int) [][]float64 {
+	m, _ := t.ReferenceMatrix(at, locations)
+	return m.ToRows()
+}
+
+// MeasureColumnsLabor is ReferenceMatrix with the legacy row-slice return
+// type.
+//
+// Deprecated: use ReferenceMatrix.
+func (t *Testbed) MeasureColumnsLabor(at time.Duration, locations []int) ([][]float64, LaborCost) {
+	m, labor := t.ReferenceMatrix(at, locations)
+	return m.ToRows(), labor
+}
+
+// TrueFingerprints is TrueMatrix with the legacy row-slice return type.
+//
+// Deprecated: use TrueMatrix.
+func (t *Testbed) TrueFingerprints(at time.Duration) [][]float64 {
+	return t.TrueMatrix(at).ToRows()
 }
