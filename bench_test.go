@@ -400,6 +400,34 @@ func BenchmarkAblationMatcher(b *testing.B) {
 	b.ReportMetric(results["nearest"], "nearest_median_m")
 }
 
+// BenchmarkReconstructSweeps measures the full update path (no-decrease
+// scan + reference survey + warm-start reconstruction) with the ALS
+// sweeps sharded over GOMAXPROCS workers (core.WithConcurrency(0)).
+// Run with `-cpu 1,4` to observe multi-core scaling of the sweep
+// sharding; on a single-core host allocs/op is the meaningful metric.
+func BenchmarkReconstructSweeps(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"sequential", []core.Option{core.WithWarmStart(true)}},
+		{"gomaxprocs", []core.Option{core.WithWarmStart(true), core.WithConcurrency(0)}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			sc, err := eval.NewScenario(testbed.Office(), 3, arm.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sc.Update(45 * testbed.Day); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Deployment serving benchmarks (serial Locate vs LocateBatch) ---
 
 // benchDeployment builds an office Deployment plus a fixed batch of

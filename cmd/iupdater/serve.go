@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ type server struct {
 	d       *iupdater.Deployment
 	tb      *iupdater.Testbed
 	workers int
+	pprof   bool
 
 	// mu guards clock, the simulated elapsed deployment time advanced by
 	// testbed-driven updates.
@@ -40,6 +42,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.d.Version()})
 	})
+	if s.pprof {
+		// Profiling of the live update/locate hot paths, opt-in via
+		// -pprof: e.g. `go tool pprof http://host/debug/pprof/profile`
+		// while driving POST /update traffic.
+		// Methodless patterns, like net/http/pprof's own registrations:
+		// the symbolization protocol POSTs to /debug/pprof/symbol.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -206,6 +220,8 @@ func runServe(args []string) error {
 	seed := fs.Uint64("seed", 1, "deployment seed")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "batch-locate worker pool size (0 = GOMAXPROCS)")
+	updateConc := fs.Int("update-concurrency", 1, "ALS sweep workers for Update (0 = GOMAXPROCS, 1 = sequential)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,7 +231,8 @@ func runServe(args []string) error {
 	}
 	tb := iupdater.NewTestbed(env, *seed)
 	log.Printf("surveying %s (seed %d)...", env.Name(), *seed)
-	d, labor, err := tb.Deploy(0, 50, iupdater.WithWorkers(*workers))
+	d, labor, err := tb.Deploy(0, 50,
+		iupdater.WithWorkers(*workers), iupdater.WithUpdateConcurrency(*updateConc))
 	if err != nil {
 		return err
 	}
@@ -230,7 +247,12 @@ func runServe(args []string) error {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(d, tb, *workers).handler()}
+	s := newServer(d, tb, *workers)
+	s.pprof = *pprofOn
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+	if *pprofOn {
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
 	log.Printf("serving on %s (POST /locate, POST /update, GET /snapshot)", *addr)
 	return srv.ListenAndServe()
 }

@@ -133,3 +133,36 @@ func TestServeRawUpdate(t *testing.T) {
 		t.Errorf("raw update version %d", raw.Version)
 	}
 }
+
+func TestServePprofGating(t *testing.T) {
+	// The profiling endpoints must be absent by default and present only
+	// when the -pprof flag enables them.
+	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(d, tb, 0)
+	off := httptest.NewServer(s.handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof reachable without -pprof: status %d", resp.StatusCode)
+	}
+
+	s.pprof = true
+	on := httptest.NewServer(s.handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with -pprof: status %d, want 200", resp.StatusCode)
+	}
+}

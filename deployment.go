@@ -48,11 +48,12 @@ type Option func(*config)
 type PipelineOption = Option
 
 type config struct {
-	numRefs   int
-	paperInit bool
-	noC1      bool
-	noC2      bool
-	workers   int
+	numRefs    int
+	paperInit  bool
+	noC1       bool
+	noC2       bool
+	workers    int
+	updateConc int
 }
 
 // WithReferenceCount overrides the number of reference locations (default:
@@ -81,6 +82,20 @@ func WithoutStabilityConstraint() Option {
 // GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// WithUpdateConcurrency shards the reconstruction solver's ALS sweeps
+// over n workers during Update (n <= 0 selects GOMAXPROCS; the default
+// 1 runs the bit-exact sequential sweeps). The parallel sweep is
+// deterministic for every worker count; see core.WithConcurrency for
+// the coupling semantics.
+func WithUpdateConcurrency(n int) Option {
+	// 0 means "unset" in config, so normalize the documented
+	// GOMAXPROCS request (n <= 0) to -1.
+	if n <= 0 {
+		n = -1
+	}
+	return func(c *config) { c.updateConc = n }
 }
 
 // Snapshot is one immutable published version of the fingerprint
@@ -252,6 +267,9 @@ func (d *Deployment) buildUpdater(fp Matrix) (*core.Updater, error) {
 	}
 	if d.cfg.noC2 {
 		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConstraint2(false))
+	}
+	if d.cfg.updateConc != 0 {
+		ucfg.Reconstruction = append(ucfg.Reconstruction, core.WithConcurrency(d.cfg.updateConc))
 	}
 	up, err := core.NewUpdater(fingerprint.New(fp.dense(), 0), ucfg)
 	if err != nil {

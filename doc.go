@@ -41,7 +41,27 @@
 // propagation, human target, drift, survey campaigns) used by the
 // examples and by the experiment reproduction in internal/eval, and
 // cmd/iupdater's serve mode runs a Deployment behind an HTTP/JSON
-// interface.
+// interface (profile it live with the -pprof flag).
+//
+// # Update-path performance
+//
+// The reconstruction solver is built on an allocation-free kernel layer
+// (internal/mat's destination-passing *Into kernels and reusable
+// Cholesky/LU factorizations) and a per-call buffer Workspace, so one
+// Update performs a few hundred allocations end to end — independent of
+// iteration count — and a deployment can refresh continuously under
+// live localization traffic without GC pressure. The allocation budget
+// is regression-tested by the benchmark smoke step in CI
+// (scripts/bench.sh records the trajectory in BENCH_recon.json).
+//
+// The ALS sweeps of the solver can additionally be sharded over a
+// bounded worker pool with WithUpdateConcurrency: the per-row/column
+// solves of one sweep are independent, results are deterministic for
+// every worker count, and without Constraint-2 couplings the parallel
+// sweep is bit-identical to the sequential one (under the default
+// Gauss-Seidel variant it reads the couplings from a pre-sweep
+// snapshot; see core.WithConcurrency). The default remains sequential,
+// the bit-exact reference.
 //
 // A minimal session:
 //

@@ -54,6 +54,15 @@ type LRRResult struct {
 // of Fig 10 stores for future updates: a fresh reference matrix X_R then
 // predicts the whole fresh fingerprint matrix as X_R*Z.
 func LRR(x, xmic *mat.Dense, cfg LRRConfig) (*LRRResult, error) {
+	ws := mat.GetWorkspace()
+	defer ws.Release()
+	return lrrWith(ws, x, xmic, cfg)
+}
+
+// lrrWith is LRR running its iteration entirely against ws-borrowed
+// buffers and the in-place kernel layer: only the returned Z and E (and
+// the SVT's internal SVD) allocate.
+func lrrWith(ws *mat.Workspace, x, xmic *mat.Dense, cfg LRRConfig) (*LRRResult, error) {
 	m, n := x.Dims()
 	mm, r := xmic.Dims()
 	if mm != m {
@@ -69,45 +78,65 @@ func LRR(x, xmic *mat.Dense, cfg LRRConfig) (*LRRResult, error) {
 	}
 
 	// Precompute the Cholesky factor of (I + AᵀA) for the Z update.
-	ata := mat.MulTA(xmic, xmic)
-	reg := mat.AddM(ata, mat.Identity(r))
-	chol, err := mat.FactorCholesky(reg)
-	if err != nil {
+	ata := ws.Dense(r, r)
+	mat.MulTAInto(ata, xmic, xmic)
+	for i := 0; i < r; i++ {
+		ata.Add(i, i, 1)
+	}
+	var chol mat.Cholesky
+	if err := chol.Factor(ata); err != nil {
+		ws.Free(ata)
 		return nil, fmt.Errorf("core: LRR normal equations not SPD: %w", err)
 	}
+	ws.Free(ata)
 
-	z := mat.New(r, n)
-	j := mat.New(r, n)
-	e := mat.New(m, n)
-	y1 := mat.New(m, n) // multiplier for X = AZ + E
-	y2 := mat.New(r, n) // multiplier for Z = J
+	z := mat.New(r, n)  // returned
+	e := mat.New(m, n)  // returned
+	jm := ws.Dense(r, n)
+	y1 := ws.Dense(m, n) // multiplier for X = AZ + E
+	y2 := ws.Dense(r, n) // multiplier for Z = J
+	tr := ws.Dense(r, n) // r x n scratch
+	rhs := ws.Dense(r, n)
+	az := ws.Dense(m, n)
+	xe := ws.Dense(m, n) // m x n scratch
+	r1 := ws.Dense(m, n)
+	r2 := ws.Dense(r, n)
+	defer func() {
+		for _, b := range []*mat.Dense{jm, y1, y2, tr, rhs, az, xe, r1, r2} {
+			ws.Free(b)
+		}
+	}()
 	mu := cfg.Mu0
 
 	var res1, res2 float64
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
 		// J update: SVT of Z + Y2/mu at threshold 1/mu.
-		j = mat.SVT(mat.AddM(z, mat.Scale(1/mu, y2)), 1/mu)
+		mat.CopyInto(tr, z)
+		mat.AddScaledInto(tr, 1/mu, y2)
+		mat.SVTInto(jm, tr, 1/mu)
 
 		// Z update: (I + AᵀA)⁻¹ (Aᵀ(X-E) + J + (AᵀY1 - Y2)/mu).
-		rhs := mat.AddM(
-			mat.AddM(mat.MulTA(xmic, mat.SubM(x, e)), j),
-			mat.Scale(1/mu, mat.SubM(mat.MulTA(xmic, y1), y2)),
-		)
-		z = chol.Solve(rhs)
+		mat.SubInto(xe, x, e)
+		mat.MulTAInto(rhs, xmic, xe)
+		mat.AddInto(rhs, rhs, jm)
+		mat.MulTAInto(tr, xmic, y1)
+		mat.SubInto(tr, tr, y2)
+		mat.AddScaledInto(rhs, 1/mu, tr)
+		chol.SolveInto(z, rhs)
 
 		// E update: column-wise shrinkage at eps/mu.
-		az := mat.Mul(xmic, z)
-		e = mat.ShrinkColumns21(
-			mat.AddM(mat.SubM(x, az), mat.Scale(1/mu, y1)),
-			cfg.Epsilon/mu,
-		)
+		mat.MulInto(az, xmic, z)
+		mat.SubInto(xe, x, az)
+		mat.AddScaledInto(xe, 1/mu, y1)
+		mat.ShrinkColumns21Into(e, xe, cfg.Epsilon/mu)
 
 		// Multiplier and penalty updates.
-		r1 := mat.SubM(mat.SubM(x, az), e) // X - AZ - E
-		r2 := mat.SubM(z, j)               // Z - J
-		y1 = mat.AddM(y1, mat.Scale(mu, r1))
-		y2 = mat.AddM(y2, mat.Scale(mu, r2))
+		mat.SubInto(r1, x, az)
+		mat.SubInto(r1, r1, e) // X - AZ - E
+		mat.SubInto(r2, z, jm) // Z - J
+		mat.AddScaledInto(y1, mu, r1)
+		mat.AddScaledInto(y2, mu, r2)
 		mu = math.Min(mu*cfg.Rho, cfg.MuMax)
 
 		res1 = mat.FrobeniusNorm(r1) / normX

@@ -47,6 +47,12 @@ func (m MICMethod) String() string {
 //
 // r must be between 1 and min(rows, cols); the paper uses r = rank(X) = M.
 func MIC(x *mat.Dense, r int, method MICMethod) ([]int, error) {
+	return micWith(nil, x, r, method)
+}
+
+// micWith is MIC with the factorization scratch borrowed from ws (nil
+// allocates).
+func micWith(ws *mat.Workspace, x *mat.Dense, r int, method MICMethod) ([]int, error) {
 	rows, cols := x.Dims()
 	if r < 1 || r > rows || r > cols {
 		return nil, fmt.Errorf("core: MIC rank %d out of range for %dx%d matrix", r, rows, cols)
@@ -54,7 +60,7 @@ func MIC(x *mat.Dense, r int, method MICMethod) ([]int, error) {
 	var idx []int
 	switch method {
 	case MICQRCP:
-		f := mat.FactorQRCP(x)
+		f := mat.FactorQRCPWorkspace(ws, x)
 		idx = f.IndependentCols(r)
 	case MICRREF:
 		// Column selection via row echelon: pivot columns of the RREF.

@@ -75,7 +75,10 @@ func NewReconstructor(opts ...Option) *Reconstructor {
 	return &Reconstructor{opts: o}
 }
 
-// solverState carries the per-call working set.
+// solverState carries the per-call working set: the problem data, the
+// factors, and a Workspace-backed scratch pool owned for the lifetime
+// of one Reconstruct call so the ALS sweeps and objective evaluation
+// allocate nothing per iteration.
 type solverState struct {
 	in                     Input
 	o                      options
@@ -84,10 +87,24 @@ type solverState struct {
 	g                      *mat.Dense // K x K continuity matrix
 	hth                    *mat.Dense // M x M HᵀH for the similarity term
 	ggt                    *mat.Dense // K x K GGᵀ for the continuity term
+	h                      *mat.Dense // M x M similarity matrix (hoisted)
 	p                      *mat.Dense // XR*Z, or nil
 	offsets                []float64
 	wData, wC1, wC2G, wC2H float64
 	l, rm                  *mat.Dense // L (M x r) and R (N x r)
+
+	// Per-call scratch, borrowed from ws in prepare and returned by
+	// close. All of it is reused across sweeps and iterations.
+	ws       *mat.Workspace
+	ltl, rtr *mat.Dense // r x r factor Grams, hoisted once per sweep
+	xhat     *mat.Dense // m x n current LRᵀ (objective evaluation)
+	xdBuf    *mat.Dense // m x K X_D block
+	calBuf   *mat.Dense // m x K offset-calibrated X_D
+	xdgBuf   *mat.Dense // m x K X_D*G
+	hxdBuf   *mat.Dense // m x K H*X_D
+	xdSnap   *mat.Dense // m x K coupling snapshot for parallel sweeps
+	seq      *solveCtx  // sequential solve context
+	par      []*solveCtx
 }
 
 // Reconstruct solves Eqn 18 and returns the reconstructed fingerprint
@@ -132,6 +149,7 @@ func (rc *Reconstructor) reconstructOnce(in Input, fixedWeights *[4]float64) (*R
 	if err != nil {
 		return nil, err
 	}
+	defer st.close()
 	if fixedWeights != nil {
 		st.wData = fixedWeights[0]
 		st.wC1 = fixedWeights[1]
@@ -219,8 +237,8 @@ func (rc *Reconstructor) prepare(in Input) (*solverState, error) {
 	if o.useC2 {
 		st.g = fingerprint.Continuity(st.k)
 		st.ggt = mat.MulTB(st.g, st.g)
-		h := fingerprint.Similarity(m)
-		st.hth = mat.MulTA(h, h)
+		st.h = fingerprint.Similarity(m)
+		st.hth = mat.MulTA(st.h, st.h)
 		st.offsets = in.LinkOffsets
 		if st.offsets == nil {
 			st.offsets = rowMeansOverMask(in.XB, in.B)
@@ -234,6 +252,36 @@ func (rc *Reconstructor) prepare(in Input) (*solverState, error) {
 			// the paper variant faithful and the objective consistent.
 			st.offsets = make([]float64, m)
 		}
+	}
+
+	// All validation has passed: borrow the per-call scratch. close()
+	// returns it.
+	st.ws = mat.GetWorkspace()
+	st.xhat = st.ws.Dense(m, n)
+	if st.p != nil {
+		st.ltl = st.ws.Dense(r, r)
+		st.rtr = st.ws.Dense(r, r)
+	}
+	if o.useC2 {
+		st.xdBuf = st.ws.Dense(m, st.k)
+		st.calBuf = st.ws.Dense(m, st.k)
+		st.xdgBuf = st.ws.Dense(m, st.k)
+		st.hxdBuf = st.ws.Dense(m, st.k)
+	}
+	// Any non-default concurrency setting — even one that resolves to a
+	// single worker on this machine — routes through the sharded sweep,
+	// so a given configuration produces bit-identical results on every
+	// host regardless of its core count.
+	if o.concurrency != 1 {
+		st.par = make([]*solveCtx, o.workers())
+		for w := range st.par {
+			st.par[w] = st.newSolveCtx()
+		}
+		if o.useC2 && o.variant == VariantGaussSeidel {
+			st.xdSnap = st.ws.Dense(m, st.k)
+		}
+	} else {
+		st.seq = st.newSolveCtx()
 	}
 
 	st.initFactors()
@@ -370,48 +418,88 @@ func (st *solverState) scaleWeights() {
 	}
 }
 
-// xd extracts the largely-decrease matrix from the current iterate:
-// XD(i, u) = (LRᵀ)(i, i*K+u).
-func (st *solverState) xd() *mat.Dense {
-	out := mat.New(st.m, st.k)
-	for i := 0; i < st.m; i++ {
-		for u := 0; u < st.k; u++ {
-			out.Set(i, u, st.entry(i, i*st.k+u))
+// close returns the per-call scratch to the workspace and the
+// workspace to the process pool. The state must not be used afterwards.
+func (st *solverState) close() {
+	ws := st.ws
+	if ws == nil {
+		return
+	}
+	for _, m := range []*mat.Dense{st.xhat, st.ltl, st.rtr, st.xdBuf, st.calBuf, st.xdgBuf, st.hxdBuf, st.xdSnap} {
+		if m != nil {
+			ws.Free(m)
 		}
 	}
-	return out
+	if st.seq != nil {
+		st.seq.free(ws)
+	}
+	for _, cx := range st.par {
+		cx.free(ws)
+	}
+	st.ws = nil
+	ws.Release()
+}
+
+// fillXD extracts the largely-decrease matrix from the current iterate
+// into dst: XD(i, u) = (LRᵀ)(i, i*K+u).
+func (st *solverState) fillXD(dst *mat.Dense) {
+	d := dst.RawData()
+	for i := 0; i < st.m; i++ {
+		for u := 0; u < st.k; u++ {
+			d[i*st.k+u] = st.entry(i, i*st.k+u)
+		}
+	}
 }
 
 // entry returns (LRᵀ)(i, j) from the current factors.
 func (st *solverState) entry(i, j int) float64 {
+	lrow := st.l.RawData()[i*st.r : (i+1)*st.r]
+	rrow := st.rm.RawData()[j*st.r : (j+1)*st.r]
 	var s float64
-	for c := 0; c < st.r; c++ {
-		s += st.l.At(i, c) * st.rm.At(j, c)
+	for c, lv := range lrow {
+		s += lv * rrow[c]
 	}
 	return s
 }
 
 // rawTerms evaluates the unweighted objective terms at the current
-// iterate.
+// iterate, entirely in per-call scratch.
 func (st *solverState) rawTerms() TermValues {
 	var tv TermValues
 	tv.Ridge = st.o.lambda * (mat.FrobeniusNormSq(st.l) + mat.FrobeniusNormSq(st.rm))
-	x := mat.MulTB(st.l, st.rm)
-	tv.Data = mat.FrobeniusNormSq(mat.SubM(mat.Hadamard(st.in.B, x), st.in.XB))
+	mat.MulTBInto(st.xhat, st.l, st.rm)
+	xh := st.xhat.RawData()
+	bd := st.in.B.RawData()
+	xbd := st.in.XB.RawData()
+	var data float64
+	for i, v := range xh {
+		d := bd[i]*v - xbd[i]
+		data += d * d
+	}
+	tv.Data = data
 	if st.p != nil {
-		tv.Reference = mat.FrobeniusNormSq(mat.SubM(x, st.p))
+		pd := st.p.RawData()
+		var ref float64
+		for i, v := range xh {
+			d := v - pd[i]
+			ref += d * d
+		}
+		tv.Reference = ref
 	}
 	if st.o.useC2 {
-		xd := st.xd()
-		tv.Continuity = mat.FrobeniusNormSq(mat.Mul(xd, st.g))
-		// Similarity on offset-calibrated rows (footnote 3).
-		cal := xd.Clone()
+		st.fillXD(st.xdBuf)
+		tv.Continuity = mat.FrobeniusNormSq(mat.MulInto(st.xdgBuf, st.xdBuf, st.g))
+		// Similarity on offset-calibrated rows (footnote 3). H is
+		// banded, so the masked multiply kernel applies.
+		xd := st.xdBuf.RawData()
+		cal := st.calBuf.RawData()
 		for i := 0; i < st.m; i++ {
+			off := st.offsets[i]
 			for u := 0; u < st.k; u++ {
-				cal.Add(i, u, -st.offsets[i])
+				cal[i*st.k+u] = xd[i*st.k+u] - off
 			}
 		}
-		tv.Similarity = mat.FrobeniusNormSq(mat.Mul(fingerprint.Similarity(st.m), cal))
+		tv.Similarity = mat.FrobeniusNormSq(mat.MulSparseInto(st.hxdBuf, st.h, st.calBuf))
 	}
 	return tv
 }

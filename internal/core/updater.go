@@ -47,7 +47,9 @@ type Updater struct {
 
 // NewUpdater runs the Inherent Correlation Acquisition module on the
 // latest (original or previously updated) fingerprint matrix: it extracts
-// the MIC reference locations and solves LRR for Z.
+// the MIC reference locations and solves LRR for Z. One Workspace is
+// threaded through reference selection and the correlation solve, so the
+// whole acquisition is allocation-lean.
 func NewUpdater(latest fingerprint.Matrix, cfg UpdaterConfig) (*Updater, error) {
 	if cfg.LRR.MaxIter == 0 {
 		cfg.LRR = DefaultLRRConfig()
@@ -56,12 +58,16 @@ func NewUpdater(latest fingerprint.Matrix, cfg UpdaterConfig) (*Updater, error) 
 	if numRefs <= 0 {
 		numRefs = latest.Links
 	}
-	refs, err := MIC(latest.X, numRefs, cfg.MICMethod)
+	ws := mat.GetWorkspace()
+	defer ws.Release()
+	refs, err := micWith(ws, latest.X, numRefs, cfg.MICMethod)
 	if err != nil {
 		return nil, fmt.Errorf("core: selecting reference locations: %w", err)
 	}
-	xmic := latest.X.SelectCols(refs)
-	lrr, err := LRR(latest.X, xmic, cfg.LRR)
+	xmic := ws.Dense(latest.X.Rows(), len(refs))
+	mat.SelectColsInto(xmic, latest.X, refs)
+	lrr, err := lrrWith(ws, latest.X, xmic, cfg.LRR)
+	ws.Free(xmic)
 	if err != nil {
 		return nil, fmt.Errorf("core: acquiring correlation matrix: %w", err)
 	}

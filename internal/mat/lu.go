@@ -20,12 +20,31 @@ type LU struct {
 // FactorLU computes the LU factorization of the square matrix a with
 // partial pivoting.
 func FactorLU(a *Dense) (*LU, error) {
+	f := new(LU)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor computes the factorization of a in place, reusing the
+// receiver's storage when the dimensions match (the factor-into-
+// workspace form: no allocation after the first call at a given size).
+// On ErrSingular the previous factorization is destroyed.
+func (f *LU) Factor(a *Dense) error {
 	if a.rows != a.cols {
-		panic(fmt.Sprintf("mat: FactorLU requires a square matrix, got %dx%d", a.rows, a.cols))
+		panic(fmt.Sprintf("mat: LU Factor requires a square matrix, got %dx%d", a.rows, a.cols))
 	}
 	n := a.rows
-	lu := a.Clone()
-	pivot := make([]int, n)
+	lu := f.lu
+	if lu == nil || lu.rows != n {
+		lu = New(n, n)
+	}
+	lu.CopyFrom(a)
+	pivot := f.pivot
+	if len(pivot) != n {
+		pivot = make([]int, n)
+	}
 	sign := 1
 	for k := 0; k < n; k++ {
 		// Find pivot row.
@@ -38,7 +57,8 @@ func FactorLU(a *Dense) (*LU, error) {
 		}
 		pivot[k] = p
 		if max == 0 {
-			return nil, ErrSingular
+			f.lu, f.pivot = lu, pivot // keep the storage for reuse
+			return ErrSingular
 		}
 		if p != k {
 			sign = -sign
@@ -60,16 +80,26 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, pivot: pivot, signP: sign}, nil
+	f.lu, f.pivot, f.signP = lu, pivot, sign
+	return nil
 }
 
 // SolveVec solves A*x = b for x.
 func (f *LU) SolveVec(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: LU SolveVec length %d, want %d", len(b), n))
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveVecInto(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveVecInto solves A*x = b, writing the solution into x. x may alias
+// b.
+func (f *LU) SolveVecInto(x, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("mat: LU SolveVecInto lengths %d/%d, want %d", len(x), len(b), n))
+	}
 	copy(x, b)
 	// Apply permutation.
 	for k := 0; k < n; k++ {
@@ -93,11 +123,11 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		d := f.lu.data[i*n+i]
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = (x[i] - s) / d
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves A*X = B column by column.

@@ -5,63 +5,43 @@ import "fmt"
 // AddM returns a + b.
 func AddM(a, b *Dense) *Dense {
 	checkSameDims("AddM", a, b)
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
-	return out
+	return AddInto(New(a.rows, a.cols), a, b)
 }
 
 // SubM returns a - b.
 func SubM(a, b *Dense) *Dense {
 	checkSameDims("SubM", a, b)
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
-	return out
+	return SubInto(New(a.rows, a.cols), a, b)
 }
 
 // Scale returns s * a.
 func Scale(s float64, a *Dense) *Dense {
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = s * a.data[i]
-	}
-	return out
+	return ScaleInto(New(a.rows, a.cols), s, a)
 }
 
 // Hadamard returns the element-wise product a .* b.
 func Hadamard(a, b *Dense) *Dense {
 	checkSameDims("Hadamard", a, b)
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
-	return out
+	return HadamardInto(New(a.rows, a.cols), a, b)
 }
 
-// Mul returns the matrix product a * b.
+// Mul returns the matrix product a * b using the branch-free blocked
+// dense kernel. For genuinely sparse operands (0/1 masks, banded
+// operators) use MulSparse, which skips zero entries of a.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.rows, b.cols)
-	// ikj loop order keeps the inner loop contiguous for both b and out.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	return MulInto(New(a.rows, b.cols), a, b)
+}
+
+// MulSparse returns a * b, skipping zero entries of a (the masked
+// multiply kernel).
+func MulSparse(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulSparse dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	return out
+	return MulSparseInto(New(a.rows, b.cols), a, b)
 }
 
 // MulTA returns aᵀ * b without materializing the transpose.
@@ -69,21 +49,7 @@ func MulTA(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulTA dimension mismatch %dx%d ᵀ* %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		arow := a.data[k*a.cols : (k+1)*a.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*out.cols : (i+1)*out.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MulTAInto(New(a.cols, b.cols), a, b)
 }
 
 // MulTB returns a * bᵀ without materializing the transpose.
@@ -91,19 +57,7 @@ func MulTB(a, b *Dense) *Dense {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTB dimension mismatch %dx%d *ᵀ %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			out.data[i*out.cols+j] = s
-		}
-	}
-	return out
+	return MulTBInto(New(a.rows, b.rows), a, b)
 }
 
 // MulVec returns the matrix-vector product a * x.

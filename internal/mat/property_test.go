@@ -193,6 +193,365 @@ func TestQuickRankBoundedByDims(t *testing.T) {
 	}
 }
 
+// --- destination-passing kernel layer ---
+//
+// Every *Into kernel must match its value-returning counterpart
+// bit-for-bit, including with dst aliasing an operand where the kernel
+// documents that as allowed.
+
+// sparsify zeroes a random subset of entries, for the masked kernels.
+func sparsify(m *Dense, rng *rand.Rand) {
+	for i := range m.data {
+		if rng.Float64() < 0.5 {
+			m.data[i] = 0
+		}
+	}
+}
+
+func TestQuickElementwiseIntoMatchBitForBit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		b := RandomNormal(a.rows, a.cols, rng)
+		s := rng.NormFloat64()
+		dst := New(a.rows, a.cols)
+		if !AddInto(dst, a, b).Equal(AddM(a, b)) {
+			return false
+		}
+		if !SubInto(dst, a, b).Equal(SubM(a, b)) {
+			return false
+		}
+		if !ScaleInto(dst, s, a).Equal(Scale(s, a)) {
+			return false
+		}
+		if !HadamardInto(dst, a, b).Equal(Hadamard(a, b)) {
+			return false
+		}
+		if !CopyInto(dst, a).Equal(a) {
+			return false
+		}
+		// axpy: dst += s*a against the composed value form.
+		base := RandomNormal(a.rows, a.cols, rng)
+		want := AddM(base, Scale(s, a))
+		got := base.Clone()
+		if !AddScaledInto(got, s, a).Equal(want) {
+			return false
+		}
+		// Documented aliasing: dst == a.
+		alias := a.Clone()
+		if !AddInto(alias, alias, b).Equal(AddM(a, b)) {
+			return false
+		}
+		alias = a.Clone()
+		if !SubInto(alias, b, alias).Equal(SubM(b, a)) {
+			return false
+		}
+		alias = a.Clone()
+		if !ScaleInto(alias, s, alias).Equal(Scale(s, a)) {
+			return false
+		}
+		alias = a.Clone()
+		if !HadamardInto(alias, alias, b).Equal(Hadamard(a, b)) {
+			return false
+		}
+		alias = a.Clone()
+		if !AddScaledInto(alias, s, alias).Equal(AddM(a, Scale(s, a))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMultiplyIntoMatchBitForBit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := RandomNormal(m, k, rng)
+		b := RandomNormal(k, n, rng)
+		if !MulInto(New(m, n), a, b).Equal(Mul(a, b)) {
+			return false
+		}
+		at := RandomNormal(k, m, rng)
+		if !MulTAInto(New(m, n), at, b).Equal(MulTA(at, b)) {
+			return false
+		}
+		bt := RandomNormal(n, k, rng)
+		if !MulTBInto(New(m, n), a, bt).Equal(MulTB(a, bt)) {
+			return false
+		}
+		if !TransposeInto(New(k, m), a).Equal(a.T()) {
+			return false
+		}
+		idx := rng.Perm(k)[:1+rng.Intn(k)]
+		if !SelectColsInto(New(m, len(idx)), a, idx).Equal(a.SelectCols(idx)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulBlockedMatchesNaive(t *testing.T) {
+	// The cache-blocked kernel must equal the naive i-j-k triple loop
+	// bit-for-bit (both accumulate each output element in ascending k
+	// order), including for middle dimensions larger than one k tile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(3*mulBlockK)
+		n := 1 + rng.Intn(6)
+		a := RandomNormal(m, k, rng)
+		b := RandomNormal(k, n, rng)
+		naive := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for q := 0; q < k; q++ {
+					s += a.data[i*k+q] * b.data[q*n+j]
+				}
+				naive.data[i*n+j] = s
+			}
+		}
+		return Mul(a, b).Equal(naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := RandomNormal(m, k, rng)
+		sparsify(a, rng)
+		b := RandomNormal(k, n, rng)
+		return MulSparse(a, b).Equal(Mul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProximalIntoMatchBitForBit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 8)
+		tau := rng.Float64() * 2
+		if !SVTInto(New(a.rows, a.cols), a, tau).Equal(SVT(a, tau)) {
+			return false
+		}
+		if !ShrinkColumns21Into(New(a.rows, a.cols), a, tau).Equal(ShrinkColumns21(a, tau)) {
+			return false
+		}
+		// Documented aliasing: ShrinkColumns21Into dst == a.
+		alias := a.Clone()
+		return ShrinkColumns21Into(alias, alias, tau).Equal(ShrinkColumns21(a, tau))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// spdMatrix builds a random well-conditioned SPD matrix.
+func spdMatrix(rng *rand.Rand, n int) *Dense {
+	a := RandomNormal(n, n, rng)
+	s := MulTA(a, a)
+	for i := 0; i < n; i++ {
+		s.Add(i, i, float64(n))
+	}
+	return s
+}
+
+func TestQuickFactorIntoReuseMatchesFresh(t *testing.T) {
+	// Refactoring through a reused Cholesky/LU must match a fresh
+	// factorization bit-for-bit, as must the Into solves.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a1 := spdMatrix(rng, n)
+		a2 := spdMatrix(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+
+		var reused Cholesky
+		if reused.Factor(a1) != nil {
+			return false
+		}
+		if reused.Factor(a2) != nil {
+			return false
+		}
+		fresh, err := FactorCholesky(a2)
+		if err != nil {
+			return false
+		}
+		if !reused.L().Equal(fresh.L()) {
+			return false
+		}
+		x := make([]float64, n)
+		reused.SolveVecInto(x, b)
+		want := fresh.SolveVec(b)
+		for i := range x {
+			if x[i] != want[i] {
+				return false
+			}
+		}
+		// Aliased solve: x == b.
+		alias := append([]float64(nil), b...)
+		reused.SolveVecInto(alias, alias)
+		for i := range alias {
+			if alias[i] != want[i] {
+				return false
+			}
+		}
+		// Matrix SolveInto against column-wise Solve.
+		bm := RandomNormal(n, 2+rng.Intn(4), rng)
+		if !reused.SolveInto(New(bm.rows, bm.cols), bm).Equal(fresh.Solve(bm)) {
+			return false
+		}
+
+		var lu LU
+		if lu.Factor(a1) != nil {
+			return false
+		}
+		if lu.Factor(a2) != nil {
+			return false
+		}
+		luFresh, err := FactorLU(a2)
+		if err != nil {
+			return false
+		}
+		if lu.Det() != luFresh.Det() {
+			return false
+		}
+		if err := lu.SolveVecInto(x, b); err != nil {
+			return false
+		}
+		luWant, err := luFresh.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if x[i] != luWant[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSolveSymLowerTriangleMatchesFull(t *testing.T) {
+	// SolveSymVecInto consumes normal matrices whose upper triangle was
+	// never written; it must match SolveSPD on the full symmetric form.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		full := spdMatrix(rng, n)
+		lower := full.Clone()
+		for c := 0; c < n; c++ {
+			for d := c + 1; d < n; d++ {
+				lower.Set(c, d, rng.NormFloat64()) // garbage upper
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveSPD(full, b)
+		if err != nil {
+			return false
+		}
+		var s SPDSolver
+		x := make([]float64, n)
+		if s.SolveSymVecInto(x, lower, b) != nil {
+			return false
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkspaceReuseIsZeroedAndShaped(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Dense(4, 6)
+	a.Set(2, 3, 7)
+	back := a.RawData()
+	ws.Free(a)
+	// A smaller borrow must reuse the same backing array, zeroed.
+	b := ws.Dense(3, 5)
+	if r, c := b.Dims(); r != 3 || c != 5 {
+		t.Fatalf("borrowed %dx%d, want 3x5", r, c)
+	}
+	if &b.RawData()[0] != &back[0] {
+		t.Error("workspace did not reuse the freed buffer")
+	}
+	for i, v := range b.RawData() {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	// A larger borrow allocates fresh.
+	c := ws.Dense(10, 10)
+	if len(c.RawData()) != 100 {
+		t.Fatalf("large borrow has %d elements", len(c.RawData()))
+	}
+	v := ws.Vec(5)
+	v[0] = 3
+	ws.FreeVec(v)
+	v2 := ws.Vec(4)
+	if v2[0] != 0 {
+		t.Error("reused vector not zeroed")
+	}
+}
+
+func TestQuickQRCPWorkspaceMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := quickMatrix(rng, 10)
+		ws := NewWorkspace()
+		got := FactorQRCPWorkspace(ws, a)
+		want := FactorQRCP(a)
+		if len(got.Perm) != len(want.Perm) || len(got.RDiag) != len(want.RDiag) {
+			return false
+		}
+		for i := range got.Perm {
+			if got.Perm[i] != want.Perm[i] {
+				return false
+			}
+		}
+		for i := range got.RDiag {
+			if got.RDiag[i] != want.RDiag[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickQRCPRankMatchesSVDRank(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -128,13 +128,34 @@ type QRCP struct {
 // independent columns of a noisy matrix: the first rank(A) entries of Perm
 // index the most independent columns.
 func FactorQRCP(a *Dense) *QRCP {
+	return FactorQRCPWorkspace(nil, a)
+}
+
+// FactorQRCPWorkspace is FactorQRCP with the working copy and scratch
+// vectors borrowed from ws; a nil ws allocates them. Only the returned
+// permutation and R diagonal stay allocated.
+func FactorQRCPWorkspace(ws *Workspace, a *Dense) *QRCP {
 	m, n := a.rows, a.cols
-	work := a.Clone()
+	var work *Dense
+	var colNorm2, v []float64
+	if ws != nil {
+		work = CopyInto(ws.Dense(m, n), a)
+		colNorm2 = ws.Vec(n)
+		v = ws.Vec(m)
+		defer func() {
+			ws.Free(work)
+			ws.FreeVec(colNorm2)
+			ws.FreeVec(v)
+		}()
+	} else {
+		work = a.Clone()
+		colNorm2 = make([]float64, n)
+		v = make([]float64, m)
+	}
 	perm := make([]int, n)
 	for j := range perm {
 		perm[j] = j
 	}
-	colNorm2 := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
 			colNorm2[j] += work.data[i*n+j] * work.data[i*n+j]
@@ -145,7 +166,6 @@ func FactorQRCP(a *Dense) *QRCP {
 		steps = n
 	}
 	rdiag := make([]float64, steps)
-	v := make([]float64, m)
 	for k := 0; k < steps; k++ {
 		// Pick the column with the largest remaining norm.
 		p := k

@@ -10,27 +10,38 @@ import "math"
 // which is the J-subproblem of the inexact-ALM solver for low-rank
 // representation (Eqn 12 of the paper).
 func SVT(a *Dense, tau float64) *Dense {
+	return SVTInto(New(a.rows, a.cols), a, tau)
+}
+
+// SVTInto writes the singular value thresholding of a into dst. dst must
+// not alias a. The SVD itself still allocates; only the reconstruction
+// reuses dst.
+func SVTInto(dst, a *Dense, tau float64) *Dense {
+	checkSameDims("SVTInto", dst, a)
+	checkNoAlias("SVTInto", dst, a)
 	f := FactorSVD(a)
-	out := New(a.rows, a.cols)
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	uc, vc := f.U.cols, f.V.cols
 	for t, sv := range f.S {
 		shrunk := sv - tau
 		if shrunk <= 0 {
 			break // singular values are sorted; all later ones shrink to 0
 		}
-		ut := f.U.Col(t)
-		vt := f.V.Col(t)
 		for i := 0; i < a.rows; i++ {
-			if ut[i] == 0 {
+			ui := f.U.data[i*uc+t]
+			if ui == 0 {
 				continue
 			}
-			scale := shrunk * ut[i]
-			row := out.data[i*a.cols : (i+1)*a.cols]
+			scale := shrunk * ui
+			row := dst.data[i*a.cols : (i+1)*a.cols]
 			for j := 0; j < a.cols; j++ {
-				row[j] += scale * vt[j]
+				row[j] += scale * f.V.data[j*vc+t]
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // ShrinkColumns21 applies the proximal operator of tau*||.||_{2,1}: each
@@ -38,7 +49,13 @@ func SVT(a *Dense, tau float64) *Dense {
 // below tau collapse to zero. This is the E-subproblem of the inexact-ALM
 // solver for low-rank representation.
 func ShrinkColumns21(a *Dense, tau float64) *Dense {
-	out := New(a.rows, a.cols)
+	return ShrinkColumns21Into(New(a.rows, a.cols), a, tau)
+}
+
+// ShrinkColumns21Into writes the column-wise l2,1 shrinkage of a into
+// dst. dst may alias a.
+func ShrinkColumns21Into(dst, a *Dense, tau float64) *Dense {
+	checkSameDims("ShrinkColumns21Into", dst, a)
 	for j := 0; j < a.cols; j++ {
 		var norm float64
 		for i := 0; i < a.rows; i++ {
@@ -47,14 +64,17 @@ func ShrinkColumns21(a *Dense, tau float64) *Dense {
 		}
 		norm = math.Sqrt(norm)
 		if norm <= tau {
+			for i := 0; i < a.rows; i++ {
+				dst.data[i*a.cols+j] = 0
+			}
 			continue
 		}
 		scale := (norm - tau) / norm
 		for i := 0; i < a.rows; i++ {
-			out.data[i*a.cols+j] = a.data[i*a.cols+j] * scale
+			dst.data[i*a.cols+j] = a.data[i*a.cols+j] * scale
 		}
 	}
-	return out
+	return dst
 }
 
 // SoftThreshold applies element-wise soft thresholding

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Benchmark smoke for the reconstruction hot path.
+#
+# Runs the two reconstruction benchmarks that gate solver performance
+# (Fig 16 constraint ablation and the initialization ablation) with
+# -benchmem, prints the result, and appends one JSON line per benchmark
+# to BENCH_recon.json so successive PRs leave a comparable trajectory:
+#
+#	./scripts/bench.sh              # 1 iteration (smoke)
+#	BENCHTIME=3x ./scripts/bench.sh # more stable timings
+#
+# Extra arguments are passed to `go test` (e.g. -cpu 1,4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization' \
+	-benchtime "$benchtime" -benchmem "$@")"
+echo "$out"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+echo "$out" | awk -v commit="$commit" -v stamp="$stamp" '
+/^Benchmark/ {
+	name = $1; ns = "null"; bytes = "null"; allocs = "null"
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix: stable keys across hosts
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "B/op") bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	printf("{\"date\":\"%s\",\"commit\":\"%s\",\"bench\":\"%s\",\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n",
+		stamp, commit, name, ns, bytes, allocs)
+}' >>BENCH_recon.json
+echo "appended results to BENCH_recon.json"
