@@ -460,6 +460,34 @@ func BenchmarkLocateSerial(b *testing.B) {
 	b.ReportMetric(float64(len(batch)), "queries/op")
 }
 
+// BenchmarkMonitorObserve times the drift-monitor observation hot path:
+// one residual scan plus one detector step per served query. The CI
+// bench smoke step runs it with -benchmem; the steady-state budget is
+// <= 2 allocs per observed query (enforced by
+// TestMonitorObserveAllocBudget, measured 0).
+func BenchmarkMonitorObserve(b *testing.B) {
+	d, batch := benchDeployment(b, 1)
+	m, err := iupdater.NewMonitor(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	// Warm past detector calibration so b.N iterations measure the
+	// steady state.
+	for i := 0; i < 512; i++ {
+		if err := m.Observe(batch[i%len(batch)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Observe(batch[i%len(batch)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkLocateBatch(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -12,6 +12,10 @@
 // the refreshed database; labor prints the update-cost model; serve runs
 // a long-lived localization service over HTTP/JSON (POST /locate,
 // POST /update, GET /snapshot) backed by a testbed-seeded Deployment.
+// With -monitor, serve also attaches a drift Monitor fed from /locate
+// traffic (status under GET /drift) that refreshes the database
+// automatically when the environment changes; SIGINT/SIGTERM drain the
+// server gracefully.
 package main
 
 import (

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"iupdater"
@@ -18,14 +23,24 @@ import (
 // write path. The testbed stands in for the physical radio hardware, so
 // update requests may either carry raw measurement matrices or just name
 // an elapsed time for the simulator to measure at.
+//
+// With -monitor, every measurement served through POST /locate also
+// feeds a drift Monitor: when the live traffic stops matching the
+// database the monitor surveys the testbed at the current simulated
+// clock and refreshes the snapshot automatically; GET /drift reports its
+// counters.
 type server struct {
 	d       *iupdater.Deployment
 	tb      *iupdater.Testbed
+	mon     *iupdater.Monitor
 	workers int
 	pprof   bool
 
-	// mu guards clock, the simulated elapsed deployment time advanced by
-	// testbed-driven updates.
+	// mu guards clock — the simulated elapsed deployment time advanced
+	// by testbed-driven updates — and serializes all testbed
+	// measurements (the channel simulator is not safe for concurrent
+	// use: both POST /update demo requests and the monitor's sampler
+	// measure from it).
 	mu    sync.Mutex
 	clock time.Duration
 }
@@ -34,11 +49,41 @@ func newServer(d *iupdater.Deployment, tb *iupdater.Testbed, workers int) *serve
 	return &server{d: d, tb: tb, workers: workers}
 }
 
+// enableMonitor attaches a drift monitor whose reference surveys are
+// taken from the testbed at the server's simulated clock.
+func (s *server) enableMonitor(opts ...iupdater.MonitorOption) error {
+	mon, err := iupdater.NewMonitor(s.d, iupdater.SamplerFunc(func(refs []int) (iupdater.UpdateInputs, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		xr, _ := s.tb.ReferenceMatrix(s.clock, refs)
+		return iupdater.UpdateInputs{
+			NoDecrease: s.tb.NoDecreaseMatrix(s.clock),
+			Known:      s.tb.Mask(),
+			References: xr,
+		}, nil
+	}), opts...)
+	if err != nil {
+		return err
+	}
+	s.mon = mon
+	return nil
+}
+
+// observe feeds one served measurement to the monitor, if attached.
+// Malformed vectors are simply not observed — the locate handler
+// reports the error to the client.
+func (s *server) observe(rss []float64) {
+	if s.mon != nil {
+		_ = s.mon.Observe(rss)
+	}
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /locate", s.handleLocate)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /drift", s.handleDrift)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.d.Version()})
 	})
@@ -96,12 +141,16 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		s.observe(req.RSS)
 		resp.Position = &positionJSON{X: p.X, Y: p.Y}
 	} else {
 		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
+		}
+		for _, rss := range req.Batch {
+			s.observe(rss)
 		}
 		resp.Positions = make([]positionJSON, len(ps))
 		for i, p := range ps {
@@ -160,12 +209,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("provide days > 0 or raw measurement matrices"))
 			return
 		}
+		// The lock both freezes the clock and serializes the testbed
+		// measurements against the monitor's sampler.
 		s.mu.Lock()
 		at = s.clock + time.Duration(req.Days*float64(24*time.Hour))
-		s.mu.Unlock()
 		noDec = s.tb.NoDecreaseMatrix(at)
 		known = s.tb.Mask()
 		xr, _ = s.tb.ReferenceMatrix(at, refs)
+		s.mu.Unlock()
 	}
 	snap, err := s.d.Update(noDec, known, xr)
 	if err != nil {
@@ -202,6 +253,44 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// driftResponse mirrors iupdater.MonitorStats over the wire.
+type driftResponse struct {
+	Queries           uint64  `json:"queries"`
+	Residual          float64 `json:"residual_db"`
+	Score             float64 `json:"score"`
+	Detections        uint64  `json:"detections"`
+	UpdatesTriggered  uint64  `json:"updates_triggered"`
+	UpdatesCompleted  uint64  `json:"updates_completed"`
+	UpdateErrors      uint64  `json:"update_errors"`
+	Suppressed        uint64  `json:"suppressed"`
+	CooldownRemaining int     `json:"cooldown_remaining"`
+	UpdateInFlight    bool    `json:"update_in_flight"`
+	Version           uint64  `json:"version"`
+	LastError         string  `json:"last_error,omitempty"`
+}
+
+func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("drift monitor disabled (start with -monitor)"))
+		return
+	}
+	st := s.mon.Stats()
+	writeJSON(w, http.StatusOK, driftResponse{
+		Queries:           st.Queries,
+		Residual:          st.Residual,
+		Score:             st.Score,
+		Detections:        st.Detections,
+		UpdatesTriggered:  st.UpdatesTriggered,
+		UpdatesCompleted:  st.UpdatesCompleted,
+		UpdateErrors:      st.UpdateErrors,
+		Suppressed:        st.Suppressed,
+		CooldownRemaining: st.CooldownRemaining,
+		UpdateInFlight:    st.UpdateInFlight,
+		Version:           st.SnapshotVersion,
+		LastError:         st.LastError,
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -222,6 +311,8 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "batch-locate worker pool size (0 = GOMAXPROCS)")
 	updateConc := fs.Int("update-concurrency", 1, "ALS sweep workers for Update (0 = GOMAXPROCS, 1 = sequential)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	monitorOn := fs.Bool("monitor", false, "auto-update: detect drift from /locate traffic and refresh the database")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,8 +330,7 @@ func runServe(args []string) error {
 	log.Printf("deployment ready: %d links, %d cells, survey labor %s",
 		tb.Links(), tb.NumCells(), labor.Duration.Round(time.Second))
 
-	updates, cancel := d.Updates()
-	defer cancel()
+	updates, cancelUpdates := d.Updates()
 	go func() {
 		for snap := range updates {
 			log.Printf("published fingerprint snapshot v%d", snap.Version())
@@ -249,10 +339,57 @@ func runServe(args []string) error {
 
 	s := newServer(d, tb, *workers)
 	s.pprof = *pprofOn
-	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+	if *monitorOn {
+		if err := s.enableMonitor(); err != nil {
+			return err
+		}
+		log.Printf("drift monitor enabled (GET /drift)")
+	}
 	if *pprofOn {
 		log.Printf("pprof enabled under /debug/pprof/")
 	}
-	log.Printf("serving on %s (POST /locate, POST /update, GET /snapshot)", *addr)
-	return srv.ListenAndServe()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on %s (POST /locate, POST /update, GET /snapshot, GET /drift)", ln.Addr())
+	return serveUntil(ctx, srv, ln, *drainTimeout, func() {
+		// The monitor first: Close waits for an in-flight auto-update,
+		// whose publish must still reach the logging subscription.
+		if s.mon != nil {
+			s.mon.Close()
+		}
+		cancelUpdates()
+	})
+}
+
+// serveUntil serves on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then drains in-flight requests via http.Server.Shutdown
+// bounded by timeout, and finally runs cleanup — stopping the monitor
+// goroutine and any in-flight auto-update cleanly. A server error (e.g.
+// a dead listener) ends the serve without waiting for the signal.
+func serveUntil(ctx context.Context, srv *http.Server, ln net.Listener, timeout time.Duration, cleanup func()) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	var err error
+	select {
+	case err = <-errc:
+	case <-ctx.Done():
+		log.Printf("shutting down: draining in-flight requests (timeout %s)", timeout)
+		sctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err = srv.Shutdown(sctx)
+		cancel()
+		if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
+			err = serr
+		}
+	}
+	cleanup()
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	return err
 }

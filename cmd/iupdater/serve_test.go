@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -131,6 +133,123 @@ func TestServeRawUpdate(t *testing.T) {
 	}
 	if raw.Version != 3 {
 		t.Errorf("raw update version %d", raw.Version)
+	}
+}
+
+func TestServeDriftEndpointAndMonitorFeed(t *testing.T) {
+	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without -monitor the endpoint is absent.
+	off := httptest.NewServer(newServer(d, tb, 0).handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/drift without -monitor: status %d, want 404", resp.StatusCode)
+	}
+
+	s := newServer(d, tb, 0)
+	if err := s.enableMonitor(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.mon.Close()
+	on := httptest.NewServer(s.handler())
+	defer on.Close()
+
+	// Served locate traffic must feed the monitor: single and batch.
+	cx, cy := tb.CellCenter(10)
+	rss := tb.MeasureOnline(cx, cy, time.Hour)
+	if code := postJSON(t, on.URL+"/locate", locateRequest{RSS: rss}, nil); code != http.StatusOK {
+		t.Fatalf("locate status %d", code)
+	}
+	batch := [][]float64{rss, tb.MeasureOnline(cx, cy, time.Hour+time.Minute)}
+	if code := postJSON(t, on.URL+"/locate", locateRequest{Batch: batch}, nil); code != http.StatusOK {
+		t.Fatalf("batch locate status %d", code)
+	}
+
+	resp, err = http.Get(on.URL + "/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/drift status %d", resp.StatusCode)
+	}
+	var dr driftResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Queries != 3 {
+		t.Errorf("monitor observed %d queries, want 3 (1 single + 2 batch)", dr.Queries)
+	}
+	if dr.Version != 1 || dr.Detections != 0 {
+		t.Errorf("unexpected drift stats %+v", dr)
+	}
+	if dr.Residual <= 0 {
+		t.Errorf("residual %.3f, want > 0", dr.Residual)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(d, tb, 0)
+	if err := s.enableMonitor(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	cleaned := make(chan struct{})
+	go func() {
+		done <- serveUntil(ctx, srv, ln, 5*time.Second, func() {
+			s.mon.Close()
+			close(cleaned)
+		})
+	}()
+
+	// The server must actually be serving before we shut it down.
+	url := "http://" + ln.Addr().String()
+	cx, cy := tb.CellCenter(5)
+	rss := tb.MeasureOnline(cx, cy, time.Hour)
+	if code := postJSON(t, url+"/locate", locateRequest{RSS: rss}, nil); code != http.StatusOK {
+		t.Fatalf("pre-shutdown locate status %d", code)
+	}
+
+	cancel() // stands in for SIGINT/SIGTERM via signal.NotifyContext
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntil returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntil did not return after cancellation")
+	}
+	select {
+	case <-cleaned:
+	default:
+		t.Fatal("cleanup did not run before serveUntil returned")
+	}
+	// The monitor is stopped: further observations must be rejected.
+	if err := s.mon.Observe(rss); err == nil {
+		t.Error("monitor still accepting observations after shutdown")
+	}
+	// And the listener is really closed.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still reachable after shutdown")
 	}
 }
 

@@ -3,6 +3,7 @@ package iupdater
 import (
 	"context"
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -327,4 +328,119 @@ func TestUpdatesSubscriptionCancel(t *testing.T) {
 	if _, err := d.Install(d.Snapshot().Fingerprints()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// publishN swaps n fresh snapshots in through the real publish path,
+// bypassing the (slow) reconstruction that normally produces them.
+func publishN(d *Deployment, n int) {
+	fp := d.Snapshot().Fingerprints()
+	for i := 0; i < n; i++ {
+		d.mu.Lock()
+		d.publishLocked(fp.Clone())
+		d.mu.Unlock()
+	}
+}
+
+// TestUpdatesSlowConsumerDropPolicy pins the documented drop policy: a
+// subscriber that stops draining buffers up to its channel capacity,
+// further publishes are dropped (never blocking the write path), and
+// Snapshot still serves the authoritative latest version.
+func TestUpdatesSlowConsumerDropPolicy(t *testing.T) {
+	tb := NewTestbed(Office(), 7)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := d.Updates()
+	defer cancel()
+	const published = 20
+	buffered := cap(ch)
+	publishN(d, published) // the subscriber never reads while these land
+
+	// Exactly the buffer's worth was delivered — the oldest versions, in
+	// order — and the rest was dropped.
+	var got []uint64
+drain:
+	for {
+		select {
+		case snap := <-ch:
+			got = append(got, snap.Version())
+		default:
+			break drain
+		}
+	}
+	if len(got) != buffered {
+		t.Fatalf("slow consumer received %d snapshots, want the %d buffered", len(got), buffered)
+	}
+	for i, v := range got {
+		if want := uint64(2 + i); v != want {
+			t.Errorf("delivery %d has version %d, want %d", i, v, want)
+		}
+	}
+	// The authoritative latest version is polled from Snapshot, exactly
+	// as the drop policy documents.
+	if v := d.Version(); v != 1+published {
+		t.Fatalf("latest version %d, want %d", v, 1+published)
+	}
+	// A drained subscriber starts receiving again.
+	publishN(d, 1)
+	select {
+	case snap := <-ch:
+		if snap.Version() != uint64(2+published) {
+			t.Errorf("post-drain delivery has version %d, want %d", snap.Version(), 2+published)
+		}
+	default:
+		t.Fatal("no delivery after draining")
+	}
+}
+
+// TestUpdatesUnsubscribeDuringPublish hammers concurrent publishes,
+// subscribes and cancels: cancellation mid-publish must never panic
+// (send on closed channel), deadlock, or leave a channel open. Run
+// under -race this also proves the subscriber map's synchronization.
+func TestUpdatesUnsubscribeDuringPublish(t *testing.T) {
+	tb := NewTestbed(Office(), 7)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var pubWg, subWg sync.WaitGroup
+	pubWg.Add(1)
+	go func() { // publisher
+		defer pubWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				publishN(d, 1)
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		subWg.Add(1)
+		go func() { // churning subscribers
+			defer subWg.Done()
+			for i := 0; i < 200; i++ {
+				ch, cancel := d.Updates()
+				// Sometimes consume a little, sometimes cancel
+				// immediately mid-publish.
+				if i%3 == 0 {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+				cancel()
+				// Deliveries buffered before cancel closed the channel
+				// are still received; drain to the close.
+				for range ch {
+				}
+			}
+		}()
+	}
+	subWg.Wait()
+	close(stop)
+	pubWg.Wait()
 }

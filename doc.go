@@ -37,11 +37,60 @@
 // typed Matrix and Mask values (flat column-major storage, no per-call
 // row-slice conversion).
 //
+// Updates subscriptions never block the write path: each subscriber gets
+// a small buffered channel, and a publish that finds the buffer full
+// drops that delivery rather than stall (or slow) the snapshot swap. A
+// slow consumer therefore sees a gap-free prefix of versions followed by
+// gaps, never stale blocking; poll Deployment.Snapshot for the
+// authoritative latest version, which is always current regardless of
+// what the subscription delivered.
+//
 // The Testbed type provides the full simulated deployment (radio
 // propagation, human target, drift, survey campaigns) used by the
 // examples and by the experiment reproduction in internal/eval, and
 // cmd/iupdater's serve mode runs a Deployment behind an HTTP/JSON
-// interface (profile it live with the -pprof flag).
+// interface (profile it live with the -pprof flag, attach a drift
+// monitor with -monitor).
+//
+// # Drift monitoring — the closed loop
+//
+// The paper makes updating cheap; the Monitor type decides when to
+// update, closing the detect -> measure -> update loop with no human
+// watching accuracy dashboards. Attach one to a Deployment with
+// NewMonitor and feed it every served online measurement via
+// Monitor.Observe:
+//
+//   - Each observation is scored with a staleness residual: the RMS
+//     distance (dB) between the mean-centered query and its
+//     best-matching mean-centered fingerprint column in the current
+//     snapshot. Centering removes common-mode drift (which localization
+//     is insensitive to), so the residual rises exactly when the
+//     per-link shape of the environment has changed under the database.
+//   - The residual stream feeds a pluggable self-calibrating
+//     DriftDetector (internal/drift): the default sliding-window
+//     mean-shift detector (NewMeanShiftDetector) reacts within about a
+//     window to abrupt environment changes; NewPageHinkleyDetector
+//     accumulates slow ramps. Both learn the stationary floor from the
+//     first observations after every snapshot change.
+//   - A detection (the detector flagging for WithDriftHysteresis
+//     consecutive queries) triggers Deployment.Update on a background
+//     goroutine: the Monitor collects the K reference columns through
+//     the ReferenceSampler (Testbed.Sampler in simulation, a
+//     MatrixSampler or SamplerFunc bridging a real radio frontend) and
+//     publishes the refreshed snapshot. WithUpdateCooldown rate-limits
+//     how often the (labor-costing) reference survey may be dispatched;
+//     suppressed detections are counted.
+//   - Monitor.Stats exposes the loop's counters (queries seen, last
+//     residual, drift score, detections, updates triggered/completed,
+//     suppressions); cmd/iupdater serve republishes them at GET /drift.
+//
+// Observe is allocation-free in steady state (~1 µs per query on the
+// office testbed), so monitoring adds nothing to the serving tail. The
+// end-to-end loop is scored by internal/eval's drift scenario: a mid-run
+// environment flip is detected within tens of queries and the
+// auto-triggered update restores database accuracy to within 0.1 dB of
+// an operator-triggered one, with zero false detections over 10k
+// stationary queries.
 //
 // # Update-path performance
 //

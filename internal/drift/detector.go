@@ -1,0 +1,249 @@
+package drift
+
+import "math"
+
+// Detector is a streaming change detector over the residual sequence.
+// Implementations are self-calibrating: they learn the stationary
+// residual floor from the first samples after construction or Reset and
+// flag when the stream shifts away from it. Implementations need not be
+// safe for concurrent use; callers serialize Observe.
+type Detector interface {
+	// Observe consumes one residual and reports whether drift is
+	// flagged at this sample. During calibration it always reports
+	// false.
+	Observe(residual float64) bool
+	// Score returns the current drift statistic normalized by the
+	// detection threshold: ~0 at the calibrated floor, >= 1 while
+	// flagging. During calibration it returns 0.
+	Score() float64
+	// Reset discards all state including the calibrated floor; the
+	// detector re-calibrates on the samples that follow (e.g. after a
+	// database update changes the residual baseline).
+	Reset()
+}
+
+// baseline accumulates the calibration-phase mean and standard deviation
+// of the residual floor.
+type baseline struct {
+	target     int
+	n          int
+	sum, sumSq float64
+	mu, sigma  float64
+}
+
+// observe consumes one calibration sample and reports whether the
+// baseline is (now) calibrated.
+func (b *baseline) observe(r float64, minSigma float64) bool {
+	if b.n >= b.target {
+		return true
+	}
+	b.n++
+	b.sum += r
+	b.sumSq += r * r
+	if b.n < b.target {
+		return false
+	}
+	nf := float64(b.n)
+	b.mu = b.sum / nf
+	v := b.sumSq/nf - b.mu*b.mu
+	if v < 0 {
+		v = 0
+	}
+	b.sigma = math.Max(math.Sqrt(v), minSigma)
+	return true
+}
+
+func (b *baseline) reset() { *b = baseline{target: b.target} }
+
+// MeanShiftConfig tunes the sliding-window mean-shift detector. The zero
+// value selects the defaults noted per field.
+type MeanShiftConfig struct {
+	// Baseline is the number of calibration samples used to learn the
+	// stationary residual floor (mean and sigma). Default 200.
+	Baseline int
+	// Window is the sliding-window length whose mean is compared
+	// against the floor. Default 64.
+	Window int
+	// K is the detection threshold in floor-sigma units: drift is
+	// flagged when the window mean exceeds mu0 + max(K*sigma0,
+	// MinShiftDB). The window mean of W stationary residuals is far
+	// tighter than one residual (sigma0/sqrt(W) if they were
+	// independent; a few times that in practice, because interference
+	// and ambient events correlate neighboring queries), so K well
+	// below 1-residual sigma units still rejects noise: on the
+	// simulated testbeds the worst stationary 64-window excursion over
+	// 12k queries is ~0.9 sigma0 while 45 days of drift lifts the
+	// window mean by 1.8 sigma0 or more. Default 1.5.
+	K float64
+	// MinShiftDB is an absolute lower bound (dB) on the detectable mean
+	// shift, protecting against an underestimated sigma0 on very quiet
+	// floors. Default 0.4.
+	MinShiftDB float64
+	// MinSigma floors the learned sigma0 (dB). Default 0.02.
+	MinSigma float64
+}
+
+func (c MeanShiftConfig) withDefaults() MeanShiftConfig {
+	if c.Baseline <= 0 {
+		c.Baseline = 200
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.K <= 0 {
+		c.K = 1.5
+	}
+	if c.MinShiftDB <= 0 {
+		c.MinShiftDB = 0.4
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = 0.02
+	}
+	return c
+}
+
+// MeanShift flags drift when the mean of the last Window residuals
+// exceeds the calibrated floor by a threshold: a robust detector for the
+// abrupt, persistent shifts an environment change produces. The ring
+// buffer is allocated once at construction; Observe is allocation-free.
+type MeanShift struct {
+	cfg    MeanShiftConfig
+	base   baseline
+	ring   []float64
+	head   int
+	filled int
+	winSum float64
+}
+
+var _ Detector = (*MeanShift)(nil)
+
+// NewMeanShift builds the detector (zero-value config fields select
+// defaults).
+func NewMeanShift(cfg MeanShiftConfig) *MeanShift {
+	cfg = cfg.withDefaults()
+	return &MeanShift{
+		cfg:  cfg,
+		base: baseline{target: cfg.Baseline},
+		ring: make([]float64, cfg.Window),
+	}
+}
+
+// Observe implements Detector.
+func (d *MeanShift) Observe(r float64) bool {
+	if !d.base.observe(r, d.cfg.MinSigma) {
+		return false
+	}
+	d.winSum += r - d.ring[d.head]
+	d.ring[d.head] = r
+	d.head++
+	if d.head == len(d.ring) {
+		d.head = 0
+	}
+	if d.filled < len(d.ring) {
+		d.filled++
+		return false
+	}
+	return d.winSum/float64(d.filled) > d.base.mu+d.threshold()
+}
+
+func (d *MeanShift) threshold() float64 {
+	return math.Max(d.cfg.K*d.base.sigma, d.cfg.MinShiftDB)
+}
+
+// Score implements Detector: the window mean's excess over the floor in
+// threshold units.
+func (d *MeanShift) Score() float64 {
+	if d.filled == 0 || d.base.n < d.base.target {
+		return 0
+	}
+	return (d.winSum/float64(d.filled) - d.base.mu) / d.threshold()
+}
+
+// Reset implements Detector.
+func (d *MeanShift) Reset() {
+	d.base.reset()
+	for i := range d.ring {
+		d.ring[i] = 0
+	}
+	d.head, d.filled, d.winSum = 0, 0, 0
+}
+
+// PageHinkleyConfig tunes the Page-Hinkley (one-sided CUSUM) detector.
+// The zero value selects the defaults noted per field.
+type PageHinkleyConfig struct {
+	// Baseline is the number of calibration samples. Default 200.
+	Baseline int
+	// Delta is the drift allowance in floor-sigma units: deviations
+	// below mu0 + Delta*sigma0 decay the statistic instead of growing
+	// it. Default 0.5.
+	Delta float64
+	// Lambda is the detection threshold on the cumulative statistic in
+	// floor-sigma units. Default 40.
+	Lambda float64
+	// MinSigma floors the learned sigma0 (dB). Default 0.02.
+	MinSigma float64
+}
+
+func (c PageHinkleyConfig) withDefaults() PageHinkleyConfig {
+	if c.Baseline <= 0 {
+		c.Baseline = 200
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.5
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 40
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = 0.02
+	}
+	return c
+}
+
+// PageHinkley accumulates the excess of each residual over the
+// calibrated floor (minus a drift allowance) and flags when the
+// accumulated excess rises Lambda sigmas above its running minimum — the
+// classic sequential test for a sustained upward mean change. It detects
+// slow ramps that never push a single window over the MeanShift
+// threshold, at the cost of a longer delay on abrupt shifts.
+type PageHinkley struct {
+	cfg  PageHinkleyConfig
+	base baseline
+	mt   float64
+	min  float64
+}
+
+var _ Detector = (*PageHinkley)(nil)
+
+// NewPageHinkley builds the detector (zero-value config fields select
+// defaults).
+func NewPageHinkley(cfg PageHinkleyConfig) *PageHinkley {
+	cfg = cfg.withDefaults()
+	return &PageHinkley{cfg: cfg, base: baseline{target: cfg.Baseline}}
+}
+
+// Observe implements Detector.
+func (d *PageHinkley) Observe(r float64) bool {
+	if !d.base.observe(r, d.cfg.MinSigma) {
+		return false
+	}
+	d.mt += r - d.base.mu - d.cfg.Delta*d.base.sigma
+	if d.mt < d.min {
+		d.min = d.mt
+	}
+	return d.mt-d.min > d.cfg.Lambda*d.base.sigma
+}
+
+// Score implements Detector.
+func (d *PageHinkley) Score() float64 {
+	if d.base.n < d.base.target {
+		return 0
+	}
+	return (d.mt - d.min) / (d.cfg.Lambda * d.base.sigma)
+}
+
+// Reset implements Detector.
+func (d *PageHinkley) Reset() {
+	d.base.reset()
+	d.mt, d.min = 0, 0
+}

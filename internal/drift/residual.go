@@ -1,0 +1,87 @@
+// Package drift turns a stream of live localization queries into a
+// staleness signal for the fingerprint database, plus streaming change
+// detectors over that signal. It is the detection half of the
+// detect -> measure -> update loop: the paper shows how to refresh a
+// stale database cheaply, this package decides *when* the database has
+// gone stale, from the traffic the deployment is already serving.
+//
+// The per-query staleness residual is the RMS distance (dB) between the
+// mean-centered online RSS vector and its best-matching mean-centered
+// fingerprint column. A fresh database explains live queries down to the
+// short-term noise floor; as the environment drifts, every column's
+// per-link shape goes wrong in the same way for every query, so the
+// best-match residual rises by the idiosyncratic (non-common-mode) part
+// of the drift. Mean-centering both sides removes the common-mode
+// component — transmit-power wander and correlated environmental drift —
+// which a localizer is equally insensitive to, so the residual tracks
+// exactly the staleness that degrades localization.
+//
+// Everything in this package is allocation-free in steady state: the
+// Residualizer scores a query into caller-provided scratch, and the
+// detectors run on O(1) or fixed-ring state allocated at construction.
+package drift
+
+import "math"
+
+// Residualizer scores online RSS vectors against one fingerprint
+// database version. Build one per published snapshot (construction
+// copies and centers the columns once); Residual is then read-only and
+// safe for concurrent use.
+type Residualizer struct {
+	m, n int
+	// cols holds the mean-centered fingerprint columns, column-major:
+	// cols[j*m : (j+1)*m] is location j's centered fingerprint.
+	cols []float64
+}
+
+// NewResidualizer builds the scorer for an m-link by n-location
+// fingerprint matrix read through at.
+func NewResidualizer(m, n int, at func(i, j int) float64) *Residualizer {
+	r := &Residualizer{m: m, n: n, cols: make([]float64, m*n)}
+	for j := 0; j < n; j++ {
+		col := r.cols[j*m : (j+1)*m]
+		var mean float64
+		for i := 0; i < m; i++ {
+			col[i] = at(i, j)
+			mean += col[i]
+		}
+		mean /= float64(m)
+		for i := range col {
+			col[i] -= mean
+		}
+	}
+	return r
+}
+
+// Links returns the number of links m a query vector must have.
+func (r *Residualizer) Links() int { return r.m }
+
+// Residual returns the staleness residual for one online measurement y:
+// the RMS distance (dB per link) between the centered query and the
+// nearest centered fingerprint column. scratch must have length >=
+// Links() and is overwritten; no allocation is performed.
+func (r *Residualizer) Residual(y, scratch []float64) float64 {
+	m := r.m
+	var mean float64
+	for _, v := range y[:m] {
+		mean += v
+	}
+	mean /= float64(m)
+	yc := scratch[:m]
+	for i, v := range y[:m] {
+		yc[i] = v - mean
+	}
+	best := math.Inf(1)
+	for j := 0; j < r.n; j++ {
+		col := r.cols[j*m : (j+1)*m]
+		var ss float64
+		for i, v := range yc {
+			d := v - col[i]
+			ss += d * d
+		}
+		if ss < best {
+			best = ss
+		}
+	}
+	return math.Sqrt(best / float64(m))
+}

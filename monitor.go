@@ -1,0 +1,379 @@
+package iupdater
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"iupdater/internal/drift"
+)
+
+// DriftDetector is a streaming change detector over the staleness
+// residual sequence, pluggable into a Monitor via WithDriftDetector.
+// The built-in implementations (NewMeanShiftDetector,
+// NewPageHinkleyDetector) are self-calibrating: they learn the
+// stationary residual floor from the first observations after
+// construction or Reset. Implementations need not be safe for concurrent
+// use; the Monitor serializes all calls.
+type DriftDetector interface {
+	// Observe consumes one residual (dB) and reports whether drift is
+	// flagged at this observation.
+	Observe(residual float64) bool
+	// Score returns the current drift statistic normalized by the
+	// detection threshold: ~0 at the calibrated floor, >= 1 while
+	// flagging, 0 during calibration.
+	Score() float64
+	// Reset discards all state including the calibrated floor; the
+	// detector re-calibrates on the observations that follow.
+	Reset()
+}
+
+// NewMeanShiftDetector returns the default sliding-window mean-shift
+// detector: drift is flagged when the mean of the last window residuals
+// exceeds the calibrated floor by k floor-sigmas. baseline is the number
+// of calibration observations, window the sliding-window length; zero or
+// negative arguments select the defaults (200, 64, 1.5). It reacts within
+// about one window to the abrupt persistent shifts an environment change
+// produces.
+func NewMeanShiftDetector(baseline, window int, k float64) DriftDetector {
+	return drift.NewMeanShift(drift.MeanShiftConfig{Baseline: baseline, Window: window, K: k})
+}
+
+// NewPageHinkleyDetector returns a Page-Hinkley (one-sided CUSUM)
+// detector: the cumulative excess of the residual over the calibrated
+// floor (minus a drift allowance of delta floor-sigmas) is compared
+// against lambda floor-sigmas. baseline is the number of calibration
+// observations; zero or negative arguments select the defaults (200,
+// 0.5, 40). It detects slow ramps that never push a single window over
+// the mean-shift threshold.
+func NewPageHinkleyDetector(baseline int, delta, lambda float64) DriftDetector {
+	return drift.NewPageHinkley(drift.PageHinkleyConfig{Baseline: baseline, Delta: delta, Lambda: lambda})
+}
+
+// UpdateInputs carries one set of fresh measurements for
+// Deployment.Update: the zero-labor no-decrease matrix with its mask,
+// and the reference-location columns.
+type UpdateInputs struct {
+	NoDecrease Matrix
+	Known      Mask
+	References Matrix
+}
+
+// ReferenceSampler collects the measurements an automatic update needs,
+// given the reference locations the Deployment wants surveyed. The
+// Testbed implements it for simulation (Testbed.Sampler); real
+// deployments feed measured matrices through a MatrixSampler or a
+// SamplerFunc bridging their radio frontend. SampleReferences is called
+// from the Monitor's update goroutine (or inline under
+// WithSynchronousUpdates), never concurrently with itself.
+type ReferenceSampler interface {
+	SampleReferences(refs []int) (UpdateInputs, error)
+}
+
+// SamplerFunc adapts a function to the ReferenceSampler interface.
+type SamplerFunc func(refs []int) (UpdateInputs, error)
+
+// SampleReferences implements ReferenceSampler.
+func (f SamplerFunc) SampleReferences(refs []int) (UpdateInputs, error) { return f(refs) }
+
+// MatrixSampler is a ReferenceSampler for real deployments: the caller
+// pushes the latest raw measurement matrices with Store (e.g. whenever
+// the radio frontend completes a no-decrease scan and a reference
+// survey), and the Monitor picks them up when drift triggers an update.
+// Safe for concurrent use. The zero value is ready; until the first
+// Store, SampleReferences fails and the triggered update is recorded as
+// an update error.
+type MatrixSampler struct {
+	mu sync.Mutex
+	in UpdateInputs
+	ok bool
+}
+
+// Store publishes the latest measured update inputs.
+func (s *MatrixSampler) Store(in UpdateInputs) {
+	s.mu.Lock()
+	s.in, s.ok = in, true
+	s.mu.Unlock()
+}
+
+// SampleReferences implements ReferenceSampler, returning the most
+// recently stored measurements.
+func (s *MatrixSampler) SampleReferences(refs []int) (UpdateInputs, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ok {
+		return UpdateInputs{}, errors.New("iupdater: no measurements stored in MatrixSampler")
+	}
+	if c := s.in.References.Cols(); c != len(refs) {
+		return UpdateInputs{}, fmt.Errorf("iupdater: stored reference matrix has %d columns, deployment wants %d", c, len(refs))
+	}
+	return s.in, nil
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*monitorConfig)
+
+type monitorConfig struct {
+	detector   DriftDetector
+	hysteresis int
+	cooldown   int
+	sync       bool
+}
+
+// WithDriftDetector replaces the default mean-shift detector. The
+// Monitor takes ownership: the detector must not be observed elsewhere.
+func WithDriftDetector(det DriftDetector) MonitorOption {
+	return func(c *monitorConfig) { c.detector = det }
+}
+
+// WithDriftHysteresis sets how many consecutive flagged observations are
+// required before a detection is declared (default 4): one-off residual
+// spikes from interference bursts or a passer-by never trigger a survey.
+func WithDriftHysteresis(n int) MonitorOption {
+	return func(c *monitorConfig) { c.hysteresis = n }
+}
+
+// WithUpdateCooldown sets the minimum number of observed queries between
+// auto-triggered updates (default 1000). Detections during the cooldown
+// are counted and suppressed, rate-limiting the reference surveys (each
+// one costs real human labor) no matter how noisy the detector is.
+func WithUpdateCooldown(queries int) MonitorOption {
+	return func(c *monitorConfig) { c.cooldown = queries }
+}
+
+// WithSynchronousUpdates makes a triggered update run inline in the
+// Observe call that detected the drift, instead of on a background
+// goroutine. Evaluation and tests use it for deterministic
+// query-counted schedules; production monitors should keep the default
+// asynchronous mode so localization traffic is never blocked behind a
+// reconstruction.
+func WithSynchronousUpdates() MonitorOption {
+	return func(c *monitorConfig) { c.sync = true }
+}
+
+// MonitorStats is a point-in-time snapshot of a Monitor's counters.
+type MonitorStats struct {
+	// Queries is the number of observations fed to the monitor.
+	Queries uint64
+	// Residual is the staleness residual (dB) of the last observation.
+	Residual float64
+	// Score is the detector's current normalized drift statistic
+	// (>= 1 while the detector is flagging).
+	Score float64
+	// Detections counts declared drift episodes (hysteresis satisfied).
+	Detections uint64
+	// UpdatesTriggered counts auto-updates started.
+	UpdatesTriggered uint64
+	// UpdatesCompleted counts auto-updates that published a snapshot.
+	UpdatesCompleted uint64
+	// UpdateErrors counts auto-updates that failed (sampler or solver).
+	UpdateErrors uint64
+	// Suppressed counts detections not acted on because of the cooldown
+	// or a missing sampler.
+	Suppressed uint64
+	// CooldownRemaining is the number of queries left before another
+	// update may trigger.
+	CooldownRemaining int
+	// UpdateInFlight reports an asynchronous update still running.
+	UpdateInFlight bool
+	// SnapshotVersion is the deployment's latest published version.
+	SnapshotVersion uint64
+	// LastError is the message of the most recent update error, if any.
+	LastError string
+}
+
+// Monitor closes the paper's detect -> measure -> update loop around a
+// Deployment: it watches live localization traffic for staleness, and
+// when the environment has drifted it collects fresh reference
+// measurements through a ReferenceSampler and refreshes the database
+// with Deployment.Update — no human in the loop deciding when.
+//
+// Feed every online RSS vector the deployment serves to Observe. Each
+// observation is scored against the current snapshot (the residual: RMS
+// distance in dB between the mean-centered query and its best-matching
+// mean-centered fingerprint column) and streamed into the drift
+// detector. A detection — the detector flagging for a configurable
+// number of consecutive queries — triggers Deployment.Update on a
+// background goroutine, rate-limited by a query-counted cooldown.
+// Snapshot changes from any writer (the monitor itself, or a manual
+// Update/Install elsewhere) re-baseline the residual and re-calibrate
+// the detector automatically.
+//
+// Observe is safe for concurrent use and allocation-free in steady
+// state (the monitor serializes internally; the residual scan is O(M*N)
+// against pre-centered columns). Construct with NewMonitor; call Close
+// when done to wait out any in-flight update.
+type Monitor struct {
+	d       *Deployment
+	sampler ReferenceSampler
+	cfg     monitorConfig
+
+	mu         sync.Mutex
+	res        *drift.Residualizer
+	resVersion uint64
+	scratch    []float64
+	consec     int
+	cooldown   int
+	updating   bool
+	closed     bool
+	stats      MonitorStats
+
+	wg sync.WaitGroup
+}
+
+// NewMonitor attaches a drift monitor to a deployment. sampler supplies
+// the fresh measurements for auto-updates; a nil sampler puts the
+// monitor in detect-only mode (detections are counted but never acted
+// on).
+func NewMonitor(d *Deployment, sampler ReferenceSampler, opts ...MonitorOption) (*Monitor, error) {
+	if d == nil {
+		return nil, errors.New("iupdater: NewMonitor: nil deployment")
+	}
+	cfg := monitorConfig{hysteresis: 4, cooldown: 1000}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.detector == nil {
+		cfg.detector = NewMeanShiftDetector(0, 0, 0)
+	}
+	if cfg.hysteresis < 1 {
+		cfg.hysteresis = 1
+	}
+	if cfg.cooldown < 0 {
+		cfg.cooldown = 0
+	}
+	return &Monitor{
+		d:       d,
+		sampler: sampler,
+		cfg:     cfg,
+		scratch: make([]float64, d.geo.Links),
+	}, nil
+}
+
+// Observe feeds one live online RSS vector (one reading per link) to the
+// monitor. It returns an error only for malformed input or a closed
+// monitor; detection and update outcomes are reported through Stats.
+func (m *Monitor) Observe(rss []float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("iupdater: monitor is closed")
+	}
+	snap := m.d.snap.Load()
+	if m.res == nil || snap.version != m.resVersion {
+		// A new database version changes the residual baseline: rebuild
+		// the scorer's centered columns and re-calibrate the detector.
+		// Not the steady state, so the allocations here don't count
+		// against the per-query budget.
+		fp := snap.fp
+		m.res = drift.NewResidualizer(fp.rows, fp.cols, fp.At)
+		m.resVersion = snap.version
+		m.cfg.detector.Reset()
+		m.consec = 0
+	}
+	if len(rss) != m.res.Links() {
+		return fmt.Errorf("iupdater: measurement has %d links, deployment has %d", len(rss), m.res.Links())
+	}
+	r := m.res.Residual(rss, m.scratch)
+	m.stats.Queries++
+	m.stats.Residual = r
+	if m.cooldown > 0 {
+		m.cooldown--
+	}
+	if m.cfg.detector.Observe(r) {
+		m.consec++
+	} else {
+		m.consec = 0
+	}
+	m.stats.Score = m.cfg.detector.Score()
+	if m.consec < m.cfg.hysteresis {
+		return nil
+	}
+	suppressed := m.updating || m.cooldown > 0 || m.sampler == nil
+	if m.consec == m.cfg.hysteresis {
+		// First crossing of this episode: one detection, however long
+		// the detector keeps flagging afterwards.
+		m.stats.Detections++
+		if suppressed {
+			m.stats.Suppressed++
+		}
+	}
+	if suppressed {
+		return nil
+	}
+	m.triggerUpdateLocked()
+	return nil
+}
+
+// triggerUpdateLocked starts the auto-update. m.mu must be held.
+func (m *Monitor) triggerUpdateLocked() {
+	m.updating = true
+	m.stats.UpdatesTriggered++
+	m.cooldown = m.cfg.cooldown
+	if m.cfg.sync {
+		// Inline: Observe returns only after the new snapshot (or the
+		// failure) is in place. performUpdate takes no monitor state, so
+		// holding m.mu is safe — it just blocks concurrent observers,
+		// which is the point of synchronous mode.
+		m.finishUpdateLocked(m.performUpdate())
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		err := m.performUpdate()
+		m.mu.Lock()
+		m.finishUpdateLocked(err)
+		m.mu.Unlock()
+	}()
+}
+
+// performUpdate samples fresh measurements and runs the deployment
+// update. It touches no monitor state (only d and the sampler), so it
+// runs without m.mu on the async path.
+func (m *Monitor) performUpdate() error {
+	refs, err := m.d.ReferenceLocations()
+	if err != nil {
+		return err
+	}
+	in, err := m.sampler.SampleReferences(refs)
+	if err != nil {
+		return err
+	}
+	_, err = m.d.Update(in.NoDecrease, in.Known, in.References)
+	return err
+}
+
+// finishUpdateLocked records the update outcome. m.mu must be held.
+func (m *Monitor) finishUpdateLocked(err error) {
+	m.updating = false
+	if err != nil {
+		m.stats.UpdateErrors++
+		m.stats.LastError = err.Error()
+		return
+	}
+	m.stats.UpdatesCompleted++
+	// The published snapshot re-baselines the residual on the next
+	// Observe (version check); nothing else to do here.
+}
+
+// Stats returns a consistent snapshot of the monitor's counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.CooldownRemaining = m.cooldown
+	s.UpdateInFlight = m.updating
+	s.SnapshotVersion = m.d.Version()
+	return s
+}
+
+// Close stops the monitor — subsequent Observe calls fail — and waits
+// for any in-flight asynchronous update to finish, so callers can shut
+// down knowing no reconstruction is still writing to the deployment.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Benchmark smoke for the reconstruction hot path.
+# Benchmark smoke for the reconstruction and monitoring hot paths.
 #
 # Runs the two reconstruction benchmarks that gate solver performance
-# (Fig 16 constraint ablation and the initialization ablation) with
-# -benchmem, prints the result, and appends one JSON line per benchmark
-# to BENCH_recon.json so successive PRs leave a comparable trajectory:
+# (Fig 16 constraint ablation and the initialization ablation) plus the
+# drift-monitor observe benchmark (budget: <= 2 allocs per observed
+# query, measured 0) with -benchmem, prints the result, and appends one
+# JSON line per benchmark to BENCH_recon.json so successive PRs leave a
+# comparable trajectory:
 #
 #	./scripts/bench.sh              # 1 iteration (smoke)
 #	BENCHTIME=3x ./scripts/bench.sh # more stable timings
@@ -14,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization' \
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve' \
 	-benchtime "$benchtime" -benchmem "$@")"
 echo "$out"
 

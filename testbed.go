@@ -114,6 +114,27 @@ func (t *Testbed) ReferenceMatrix(at time.Duration, locations []int) (Matrix, La
 	}
 }
 
+// Sampler returns a ReferenceSampler that takes the fresh measurements
+// an automatic update needs from this simulated deployment, at the
+// elapsed time reported by now — the testbed standing in for the radio
+// frontend of a Monitor. The underlying channel simulator is not safe
+// for concurrent use: callers must serialize the returned sampler
+// against all other measurements on this Testbed (have now both report
+// the clock and take whatever lock guards it, as cmd/iupdater serve
+// does, or run the Monitor with WithSynchronousUpdates on a single
+// goroutine).
+func (t *Testbed) Sampler(now func() time.Duration) ReferenceSampler {
+	return SamplerFunc(func(refs []int) (UpdateInputs, error) {
+		at := now()
+		xr, _ := t.ReferenceMatrix(at, refs)
+		return UpdateInputs{
+			NoDecrease: t.NoDecreaseMatrix(at),
+			Known:      t.Mask(),
+			References: xr,
+		}, nil
+	})
+}
+
 // TrueMatrix returns the noise-free fingerprint matrix at the given time:
 // the ideal database a perfect survey would record. Useful as a
 // ground-truth baseline in evaluations.
