@@ -5,17 +5,28 @@
 //	iupdater localize [-env ...] [-seed n] [-days d] [-x m -y m]
 //	iupdater labor    [-scale k]
 //	iupdater serve    [-env ...] [-seed n] [-addr :8080] [-workers n]
+//	                  [-sites name=env,...] [-data-dir dir] [-retain n]
 //
 // survey prints the original fingerprint database and its labor cost;
 // update runs the iUpdater refresh after the given number of days and
 // reports accuracy and labor; localize runs an online localization with
 // the refreshed database; labor prints the update-cost model; serve runs
 // a long-lived localization service over HTTP/JSON (POST /locate,
-// POST /update, GET /snapshot) backed by a testbed-seeded Deployment.
-// With -monitor, serve also attaches a drift Monitor fed from /locate
-// traffic (status under GET /drift) that refreshes the database
+// POST /update, GET /snapshot) backed by testbed-seeded Deployments.
+// With -monitor, serve also attaches a drift Monitor per site fed from
+// /locate traffic (status under GET /drift) that refreshes the database
 // automatically when the environment changes; SIGINT/SIGTERM drain the
 // server gracefully.
+//
+// With -sites, serve hosts a fleet of named site deployments: GET /sites
+// lists every site's version and drift summary, and each site answers
+// under /sites/{name}/locate|update|snapshot|drift|rollback (the bare
+// routes remain aliases for the first site). With -data-dir, every
+// published snapshot is persisted to an append-only checksummed store
+// under dir/<site>, a restart warm-starts from the latest version (no
+// re-survey, resumed drift baseline), POST .../rollback?version=N
+// republishes a retained version, and -retain bounds how many versions
+// each site keeps.
 package main
 
 import (
@@ -65,7 +76,8 @@ func usage() {
   update    refresh the database after -days days of drift
   localize  refresh, then localize a target at (-x, -y)
   labor     print the labor-cost model for a -scale x larger area
-  serve     run the HTTP localization service on a simulated deployment
+  serve     run the HTTP localization service (multi-site with -sites,
+            durable snapshot stores with -data-dir)
 `)
 }
 

@@ -11,6 +11,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -18,23 +21,14 @@ import (
 	"iupdater"
 )
 
-// server exposes a Deployment over HTTP/JSON. Localization queries hit
-// the lock-free snapshot path; updates are serialized by the Deployment's
-// write path. The testbed stands in for the physical radio hardware, so
-// update requests may either carry raw measurement matrices or just name
-// an elapsed time for the simulator to measure at.
-//
-// With -monitor, every measurement served through POST /locate also
-// feeds a drift Monitor: when the live traffic stops matching the
-// database the monitor surveys the testbed at the current simulated
-// clock and refreshes the snapshot automatically; GET /drift reports its
-// counters.
-type server struct {
-	d       *iupdater.Deployment
-	tb      *iupdater.Testbed
-	mon     *iupdater.Monitor
-	workers int
-	pprof   bool
+// site is one served deployment: the Deployment itself plus the testbed
+// standing in for that site's radio hardware and the simulated clock its
+// measurements are taken at.
+type site struct {
+	name string
+	d    *iupdater.Deployment
+	tb   *iupdater.Testbed
+	mon  *iupdater.Monitor
 
 	// mu guards clock — the simulated elapsed deployment time advanced
 	// by testbed-driven updates — and serializes all testbed
@@ -45,47 +39,116 @@ type server struct {
 	clock time.Duration
 }
 
-func newServer(d *iupdater.Deployment, tb *iupdater.Testbed, workers int) *server {
-	return &server{d: d, tb: tb, workers: workers}
+func newSite(name string, d *iupdater.Deployment, tb *iupdater.Testbed) *site {
+	return &site{name: name, d: d, tb: tb}
 }
 
 // enableMonitor attaches a drift monitor whose reference surveys are
-// taken from the testbed at the server's simulated clock.
-func (s *server) enableMonitor(opts ...iupdater.MonitorOption) error {
-	mon, err := iupdater.NewMonitor(s.d, iupdater.SamplerFunc(func(refs []int) (iupdater.UpdateInputs, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		xr, _ := s.tb.ReferenceMatrix(s.clock, refs)
+// taken from the site's testbed at the site's simulated clock. Call
+// before registering the site with a server.
+func (st *site) enableMonitor(opts ...iupdater.MonitorOption) error {
+	mon, err := iupdater.NewMonitor(st.d, iupdater.SamplerFunc(func(refs []int) (iupdater.UpdateInputs, error) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		xr, _ := st.tb.ReferenceMatrix(st.clock, refs)
 		return iupdater.UpdateInputs{
-			NoDecrease: s.tb.NoDecreaseMatrix(s.clock),
-			Known:      s.tb.Mask(),
+			NoDecrease: st.tb.NoDecreaseMatrix(st.clock),
+			Known:      st.tb.Mask(),
 			References: xr,
 		}, nil
 	}), opts...)
 	if err != nil {
 		return err
 	}
-	s.mon = mon
+	st.mon = mon
 	return nil
 }
 
-// observe feeds one served measurement to the monitor, if attached.
-// Malformed vectors are simply not observed — the locate handler
-// reports the error to the client.
-func (s *server) observe(rss []float64) {
-	if s.mon != nil {
-		_ = s.mon.Observe(rss)
+// observe feeds one served measurement to the site's monitor, if
+// attached. Malformed vectors are simply not observed — the locate
+// handler reports the error to the client.
+func (st *site) observe(rss []float64) {
+	if st.mon != nil {
+		_ = st.mon.Observe(rss)
 	}
+}
+
+// server exposes a Fleet of site deployments over HTTP/JSON.
+// Localization queries hit each site's lock-free snapshot path; updates
+// are serialized by the owning Deployment's write path. Every site is
+// addressable under /sites/{site}/...; the original single-site routes
+// (/locate, /update, /snapshot, /drift, /rollback) remain as aliases
+// for the default site (the first one registered).
+type server struct {
+	fleet   *iupdater.Fleet
+	sites   map[string]*site
+	def     *site
+	workers int
+	pprof   bool
+}
+
+func newServer(workers int) *server {
+	return &server{
+		fleet:   iupdater.NewFleet(),
+		sites:   make(map[string]*site),
+		workers: workers,
+	}
+}
+
+// addSite registers a fully wired site (monitor already attached if
+// wanted). The first site added becomes the default for the alias
+// routes. Not safe to call once the handler is serving.
+func (s *server) addSite(st *site) error {
+	if _, err := s.fleet.Add(st.name, st.d, st.mon); err != nil {
+		return err
+	}
+	s.sites[st.name] = st
+	if s.def == nil {
+		s.def = st
+	}
+	return nil
+}
+
+// siteFor resolves the request's site: the {site} path value when
+// present, the default site on the alias routes. On an unknown name it
+// writes the 404 and returns nil.
+func (s *server) siteFor(w http.ResponseWriter, r *http.Request) *site {
+	name := r.PathValue("site")
+	if name == "" {
+		return s.def
+	}
+	st, ok := s.sites[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown site %q (GET /sites lists them)", name))
+		return nil
+	}
+	return st
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /locate", s.handleLocate)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /drift", s.handleDrift)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.d.Version()})
+	// Each route is registered twice: once with its method, and once
+	// methodless so a wrong-method hit gets an explicit 405 with an
+	// Allow header (and the API's JSON error shape) instead of the
+	// mux's implicit handling.
+	route := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+pattern, h)
+		mux.HandleFunc(pattern, methodNotAllowed(method))
+	}
+	route("POST", "/locate", s.handleLocate)
+	route("POST", "/update", s.handleUpdate)
+	route("GET", "/snapshot", s.handleSnapshot)
+	route("GET", "/drift", s.handleDrift)
+	route("POST", "/rollback", s.handleRollback)
+	route("GET", "/sites", s.handleSites)
+	route("GET", "/sites/{site}", s.handleSite)
+	route("POST", "/sites/{site}/locate", s.handleLocate)
+	route("POST", "/sites/{site}/update", s.handleUpdate)
+	route("GET", "/sites/{site}/snapshot", s.handleSnapshot)
+	route("GET", "/sites/{site}/drift", s.handleDrift)
+	route("POST", "/sites/{site}/rollback", s.handleRollback)
+	route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.def.d.Version(), "sites": len(s.sites)})
 	})
 	if s.pprof {
 		// Profiling of the live update/locate hot paths, opt-in via
@@ -100,6 +163,17 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// methodNotAllowed is the fallback handler behind every route's
+// methodless pattern: anything that reaches it matched the path but not
+// the method.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			map[string]string{"error": fmt.Sprintf("method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, allow)})
+	}
 }
 
 type locateRequest struct {
@@ -122,6 +196,10 @@ type locateResponse struct {
 }
 
 func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
 	var req locateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -133,7 +211,7 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Pin one snapshot so the reported version matches the database every
 	// estimate in the response was computed against.
-	snap := s.d.Snapshot()
+	snap := st.d.Snapshot()
 	resp := locateResponse{Version: snap.Version()}
 	if req.RSS != nil {
 		p, err := snap.Locate(req.RSS)
@@ -141,7 +219,7 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		s.observe(req.RSS)
+		st.observe(req.RSS)
 		resp.Position = &positionJSON{X: p.X, Y: p.Y}
 	} else {
 		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
@@ -150,7 +228,7 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, rss := range req.Batch {
-			s.observe(rss)
+			st.observe(rss)
 		}
 		resp.Positions = make([]positionJSON, len(ps))
 		for i, p := range ps {
@@ -178,12 +256,16 @@ type updateResponse struct {
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	refs, err := s.d.ReferenceLocations()
+	refs, err := st.d.ReferenceLocations()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -211,14 +293,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		// The lock both freezes the clock and serializes the testbed
 		// measurements against the monitor's sampler.
-		s.mu.Lock()
-		at = s.clock + time.Duration(req.Days*float64(24*time.Hour))
-		noDec = s.tb.NoDecreaseMatrix(at)
-		known = s.tb.Mask()
-		xr, _ = s.tb.ReferenceMatrix(at, refs)
-		s.mu.Unlock()
+		st.mu.Lock()
+		at = st.clock + time.Duration(req.Days*float64(24*time.Hour))
+		noDec = st.tb.NoDecreaseMatrix(at)
+		known = st.tb.Mask()
+		xr, _ = st.tb.ReferenceMatrix(at, refs)
+		st.mu.Unlock()
 	}
-	snap, err := s.d.Update(noDec, known, xr)
+	snap, err := st.d.Update(noDec, known, xr)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -226,11 +308,11 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if at > 0 {
 		// Advance the simulated clock only once the update succeeded, so
 		// a failed request can be retried at the same elapsed time.
-		s.mu.Lock()
-		if at > s.clock {
-			s.clock = at
+		st.mu.Lock()
+		if at > st.clock {
+			st.clock = at
 		}
-		s.mu.Unlock()
+		st.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, updateResponse{Version: snap.Version(), References: refs})
 }
@@ -243,7 +325,11 @@ type snapshotResponse struct {
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	snap := s.d.Snapshot()
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
+	snap := st.d.Snapshot()
 	fp := snap.Fingerprints()
 	writeJSON(w, http.StatusOK, snapshotResponse{
 		Version:      snap.Version(),
@@ -269,26 +355,113 @@ type driftResponse struct {
 	LastError         string  `json:"last_error,omitempty"`
 }
 
+func driftJSON(stats iupdater.MonitorStats) driftResponse {
+	return driftResponse{
+		Queries:           stats.Queries,
+		Residual:          stats.Residual,
+		Score:             stats.Score,
+		Detections:        stats.Detections,
+		UpdatesTriggered:  stats.UpdatesTriggered,
+		UpdatesCompleted:  stats.UpdatesCompleted,
+		UpdateErrors:      stats.UpdateErrors,
+		Suppressed:        stats.Suppressed,
+		CooldownRemaining: stats.CooldownRemaining,
+		UpdateInFlight:    stats.UpdateInFlight,
+		Version:           stats.SnapshotVersion,
+		LastError:         stats.LastError,
+	}
+}
+
 func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	if s.mon == nil {
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
+	if st.mon == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("drift monitor disabled (start with -monitor)"))
 		return
 	}
-	st := s.mon.Stats()
-	writeJSON(w, http.StatusOK, driftResponse{
-		Queries:           st.Queries,
-		Residual:          st.Residual,
-		Score:             st.Score,
-		Detections:        st.Detections,
-		UpdatesTriggered:  st.UpdatesTriggered,
-		UpdatesCompleted:  st.UpdatesCompleted,
-		UpdateErrors:      st.UpdateErrors,
-		Suppressed:        st.Suppressed,
-		CooldownRemaining: st.CooldownRemaining,
-		UpdateInFlight:    st.UpdateInFlight,
-		Version:           st.SnapshotVersion,
-		LastError:         st.LastError,
-	})
+	writeJSON(w, http.StatusOK, driftJSON(st.mon.Stats()))
+}
+
+type rollbackResponse struct {
+	// Version is the newly published snapshot version.
+	Version uint64 `json:"version"`
+	// RestoredVersion is the stored version whose fingerprints it
+	// republishes.
+	RestoredVersion uint64 `json:"restored_version"`
+}
+
+func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
+	vstr := r.URL.Query().Get("version")
+	if vstr == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("provide ?version=N (GET /sites/%s lists retained versions)", st.name))
+		return
+	}
+	version, err := strconv.ParseUint(vstr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("version %q: %w", vstr, err))
+		return
+	}
+	snap, err := st.d.Rollback(version)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rollbackResponse{Version: snap.Version(), RestoredVersion: version})
+}
+
+// siteSummaryJSON mirrors iupdater.SiteSummary over the wire.
+type siteSummaryJSON struct {
+	Name           string         `json:"name"`
+	Version        uint64         `json:"version"`
+	Links          int            `json:"links"`
+	Cells          int            `json:"cells"`
+	Durable        bool           `json:"durable"`
+	StoredVersions []uint64       `json:"stored_versions,omitempty"`
+	Drift          *driftResponse `json:"drift,omitempty"`
+}
+
+func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
+	out := siteSummaryJSON{
+		Name:           sum.Name,
+		Version:        sum.Version,
+		Links:          sum.Links,
+		Cells:          sum.Cells,
+		Durable:        sum.Durable,
+		StoredVersions: sum.StoredVersions,
+	}
+	if sum.Drift != nil {
+		dr := driftJSON(*sum.Drift)
+		out.Drift = &dr
+	}
+	return out
+}
+
+type sitesResponse struct {
+	Sites []siteSummaryJSON `json:"sites"`
+}
+
+func (s *server) handleSites(w http.ResponseWriter, r *http.Request) {
+	sums := s.fleet.Summaries()
+	resp := sitesResponse{Sites: make([]siteSummaryJSON, len(sums))}
+	for i, sum := range sums {
+		resp.Sites[i] = siteSummaryResponse(sum)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
+	fs, ok := s.fleet.Site(r.PathValue("site"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown site %q (GET /sites lists them)", r.PathValue("site")))
+		return
+	}
+	writeJSON(w, http.StatusOK, siteSummaryResponse(fs.Summary()))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -303,47 +476,167 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// siteSpec is one -sites entry: a registry name and the simulated
+// environment backing it.
+type siteSpec struct {
+	name string
+	env  string
+}
+
+// parseSiteSpecs parses the -sites flag ("name=env,name=env"). An empty
+// flag falls back to one site named "default" on the -env environment —
+// the original single-site behavior. Names are validated here, before
+// buildSite turns them into -data-dir subdirectories and runs surveys —
+// Fleet.Add would reject a bad name anyway, but only after the
+// filesystem and survey work had happened.
+func parseSiteSpecs(spec, defaultEnv string) ([]siteSpec, error) {
+	if spec == "" {
+		return []siteSpec{{name: "default", env: defaultEnv}}, nil
+	}
+	var out []siteSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		name, env, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			// A bare name serves the default environment.
+			env = defaultEnv
+		}
+		if err := checkSiteName(name); err != nil {
+			return nil, fmt.Errorf("-sites: %w", err)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-sites: duplicate site %q", name)
+		}
+		seen[name] = true
+		out = append(out, siteSpec{name: name, env: env})
+	}
+	return out, nil
+}
+
+// checkSiteName mirrors Fleet.Add's naming rule: site names become URL
+// path segments and store directory names, so only letters, digits, -
+// and _ are allowed.
+func checkSiteName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty site name")
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < 'A' || r > 'Z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			return fmt.Errorf("site name %q: use letters, digits, - and _", name)
+		}
+	}
+	return nil
+}
+
+// buildSite wires one site: a testbed for its environment, and either a
+// warm restart from its store directory (when dataDir is set and holds
+// snapshots) or a fresh survey persisted into it. Returns the site and
+// whether it warm-started.
+func buildSite(spec siteSpec, seed uint64, dataDir string, retain int, opts []iupdater.Option) (*site, bool, error) {
+	env, err := pickEnv(spec.env)
+	if err != nil {
+		return nil, false, fmt.Errorf("site %s: %w", spec.name, err)
+	}
+	tb := iupdater.NewTestbed(env, seed)
+	var st *iupdater.Store
+	if dataDir != "" {
+		st, err = iupdater.OpenStore(filepath.Join(dataDir, spec.name), iupdater.WithRetention(retain))
+		if err != nil {
+			return nil, false, fmt.Errorf("site %s: %w", spec.name, err)
+		}
+		if st.LatestVersion() > 0 {
+			d, err := iupdater.OpenDeployment(st, opts...)
+			if err != nil {
+				st.Close()
+				return nil, false, fmt.Errorf("site %s: %w", spec.name, err)
+			}
+			if d.Geometry() != tb.Geometry() {
+				st.Close()
+				return nil, false, fmt.Errorf("site %s: stored geometry %+v does not match environment %s (%+v)",
+					spec.name, d.Geometry(), env.Name(), tb.Geometry())
+			}
+			return newSite(spec.name, d, tb), true, nil
+		}
+	}
+	if st != nil {
+		opts = append(opts, iupdater.WithStore(st))
+	}
+	d, _, err := tb.Deploy(0, 50, opts...)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, false, fmt.Errorf("site %s: %w", spec.name, err)
+	}
+	return newSite(spec.name, d, tb), false, nil
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	envName := envFlag(fs)
-	seed := fs.Uint64("seed", 1, "deployment seed")
+	seed := fs.Uint64("seed", 1, "deployment seed (site i uses seed+i)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "batch-locate worker pool size (0 = GOMAXPROCS)")
 	updateConc := fs.Int("update-concurrency", 1, "ALS sweep workers for Update (0 = GOMAXPROCS, 1 = sequential)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-	monitorOn := fs.Bool("monitor", false, "auto-update: detect drift from /locate traffic and refresh the database")
+	monitorOn := fs.Bool("monitor", false, "auto-update: detect drift from /locate traffic and refresh each site's database")
+	dataDir := fs.String("data-dir", "", "durable snapshot root (one store directory per site); empty = in-memory")
+	retain := fs.Int("retain", 0, "snapshot versions retained per site store (0 = all)")
+	sitesFlag := fs.String("sites", "", "comma-separated name=env site list (default: one site 'default' on -env)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := pickEnv(*envName)
+	specs, err := parseSiteSpecs(*sitesFlag, *envName)
 	if err != nil {
 		return err
 	}
-	tb := iupdater.NewTestbed(env, *seed)
-	log.Printf("surveying %s (seed %d)...", env.Name(), *seed)
-	d, labor, err := tb.Deploy(0, 50,
-		iupdater.WithWorkers(*workers), iupdater.WithUpdateConcurrency(*updateConc))
-	if err != nil {
-		return err
-	}
-	log.Printf("deployment ready: %d links, %d cells, survey labor %s",
-		tb.Links(), tb.NumCells(), labor.Duration.Round(time.Second))
 
-	updates, cancelUpdates := d.Updates()
-	go func() {
-		for snap := range updates {
-			log.Printf("published fingerprint snapshot v%d", snap.Version())
-		}
-	}()
-
-	s := newServer(d, tb, *workers)
+	s := newServer(*workers)
 	s.pprof = *pprofOn
-	if *monitorOn {
-		if err := s.enableMonitor(); err != nil {
+	var cancels []func()
+	defer func() {
+		// On a failed startup, release whatever was wired so far; after
+		// a clean serve this is a no-op (the cleanup already ran).
+		for _, c := range cancels {
+			c()
+		}
+		s.fleet.Close()
+	}()
+	for i, spec := range specs {
+		opts := []iupdater.Option{
+			iupdater.WithWorkers(*workers), iupdater.WithUpdateConcurrency(*updateConc),
+		}
+		log.Printf("site %s: preparing %s (seed %d)...", spec.name, spec.env, *seed+uint64(i))
+		st, warm, err := buildSite(spec, *seed+uint64(i), *dataDir, *retain, opts)
+		if err != nil {
 			return err
 		}
-		log.Printf("drift monitor enabled (GET /drift)")
+		if warm {
+			log.Printf("site %s: warm restart from %s (snapshot v%d, %d versions retained)",
+				spec.name, st.d.Store().Dir(), st.d.Version(), len(st.d.Store().Versions()))
+		} else {
+			log.Printf("site %s: surveyed: %d links, %d cells%s",
+				spec.name, st.tb.Links(), st.tb.NumCells(), durabilityNote(st.d))
+		}
+		if *monitorOn {
+			if err := st.enableMonitor(); err != nil {
+				return err
+			}
+		}
+		updates, cancelUpdates := st.d.Updates()
+		cancels = append(cancels, cancelUpdates)
+		go func(name string) {
+			for snap := range updates {
+				log.Printf("site %s: published fingerprint snapshot v%d", name, snap.Version())
+			}
+		}(spec.name)
+		if err := s.addSite(st); err != nil {
+			return err
+		}
+	}
+	if *monitorOn {
+		log.Printf("drift monitors enabled (GET /drift, GET /sites)")
 	}
 	if *pprofOn {
 		log.Printf("pprof enabled under /debug/pprof/")
@@ -356,21 +649,33 @@ func runServe(args []string) error {
 	srv := &http.Server{Handler: s.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving on %s (POST /locate, POST /update, GET /snapshot, GET /drift)", ln.Addr())
+	log.Printf("serving %d site(s) %v on %s (POST /locate|/update, GET /snapshot|/drift|/sites, POST /rollback; per-site under /sites/{name}/...)",
+		len(s.sites), s.fleet.Names(), ln.Addr())
 	return serveUntil(ctx, srv, ln, *drainTimeout, func() {
-		// The monitor first: Close waits for an in-flight auto-update,
-		// whose publish must still reach the logging subscription.
-		if s.mon != nil {
-			s.mon.Close()
+		// Monitors first (Fleet.Close waits out in-flight auto-updates,
+		// whose publishes must still reach the logging subscriptions),
+		// then the stores, then the subscriptions.
+		if err := s.fleet.Close(); err != nil {
+			log.Printf("closing fleet: %v", err)
 		}
-		cancelUpdates()
+		for _, c := range cancels {
+			c()
+		}
+		cancels = nil
 	})
+}
+
+func durabilityNote(d *iupdater.Deployment) string {
+	if st := d.Store(); st != nil {
+		return fmt.Sprintf(", persisted to %s", st.Dir())
+	}
+	return " (in-memory: snapshots do not survive a restart)"
 }
 
 // serveUntil serves on ln until ctx is cancelled (SIGINT/SIGTERM in
 // production), then drains in-flight requests via http.Server.Shutdown
 // bounded by timeout, and finally runs cleanup — stopping the monitor
-// goroutine and any in-flight auto-update cleanly. A server error (e.g.
+// goroutines and any in-flight auto-update cleanly. A server error (e.g.
 // a dead listener) ends the serve without waiting for the signal.
 func serveUntil(ctx context.Context, srv *http.Server, ln net.Listener, timeout time.Duration, cleanup func()) error {
 	errc := make(chan error, 1)

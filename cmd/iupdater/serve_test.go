@@ -13,16 +13,27 @@ import (
 	"iupdater"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *iupdater.Testbed) {
+// newOfficeSite deploys one office-testbed site for handler tests.
+func newOfficeSite(t *testing.T, name string, seed uint64) *site {
 	t.Helper()
-	tb := iupdater.NewTestbed(iupdater.Office(), 1)
+	tb := iupdater.NewTestbed(iupdater.Office(), seed)
 	d, _, err := tb.Deploy(0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(d, tb, 0).handler())
+	return newSite(name, d, tb)
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *iupdater.Testbed) {
+	t.Helper()
+	st := newOfficeSite(t, "default", 1)
+	s := newServer(0)
+	if err := s.addSite(st); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
-	return ts, tb
+	return ts, st.tb
 }
 
 func postJSON(t *testing.T, url string, body any, out any) int {
@@ -32,6 +43,21 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 		t.Fatal(err)
 	}
 	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +96,24 @@ func TestServeLocate(t *testing.T) {
 		t.Fatalf("batch response %+v", batchResp)
 	}
 
+	// The per-site route addresses the same default deployment.
+	var siteResp locateResponse
+	if code := postJSON(t, ts.URL+"/sites/default/locate", locateRequest{RSS: rss}, &siteResp); code != http.StatusOK {
+		t.Fatalf("per-site status %d", code)
+	}
+	if siteResp.Position == nil || *siteResp.Position != *resp.Position {
+		t.Errorf("per-site estimate %+v != alias estimate %+v", siteResp.Position, resp.Position)
+	}
+
 	// Malformed requests.
 	if code := postJSON(t, ts.URL+"/locate", locateRequest{}, nil); code != http.StatusBadRequest {
 		t.Errorf("empty request: status %d", code)
 	}
 	if code := postJSON(t, ts.URL+"/locate", locateRequest{RSS: []float64{1}}, nil); code != http.StatusUnprocessableEntity {
 		t.Errorf("short rss: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/sites/nowhere/locate", locateRequest{RSS: rss}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown site: status %d", code)
 	}
 }
 
@@ -90,14 +128,9 @@ func TestServeUpdateAndSnapshot(t *testing.T) {
 		t.Fatalf("update response %+v", up)
 	}
 
-	resp, err := http.Get(ts.URL + "/snapshot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
 	var snap snapshotResponse
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
+	if code := getJSON(t, ts.URL+"/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
 	}
 	if snap.Version != 2 || snap.Links != 8 || snap.Cells != 96 {
 		t.Fatalf("snapshot header %+v", snap)
@@ -136,54 +169,277 @@ func TestServeRawUpdate(t *testing.T) {
 	}
 }
 
-func TestServeDriftEndpointAndMonitorFeed(t *testing.T) {
-	tb := iupdater.NewTestbed(iupdater.Office(), 1)
-	d, _, err := tb.Deploy(0, 20)
-	if err != nil {
-		t.Fatal(err)
+// TestServeMethodNotAllowed asserts every route answers a wrong-method
+// hit with an explicit 405, an Allow header and the API's JSON error
+// shape — not a 404 or the mux's implicit plain-text handling.
+func TestServeMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/locate", "POST"},
+		{http.MethodDelete, "/update", "POST"},
+		{http.MethodPost, "/snapshot", "GET"},
+		{http.MethodPut, "/drift", "GET"},
+		{http.MethodGet, "/rollback", "POST"},
+		{http.MethodPost, "/sites", "GET"},
+		{http.MethodPost, "/sites/default", "GET"},
+		{http.MethodGet, "/sites/default/locate", "POST"},
+		{http.MethodDelete, "/sites/default/update", "POST"},
+		{http.MethodPost, "/sites/default/snapshot", "GET"},
+		{http.MethodPost, "/sites/default/drift", "GET"},
+		{http.MethodGet, "/sites/default/rollback", "POST"},
+		{http.MethodPost, "/healthz", "GET"},
 	}
-	// Without -monitor the endpoint is absent.
-	off := httptest.NewServer(newServer(d, tb, 0).handler())
-	defer off.Close()
-	resp, err := http.Get(off.URL + "/drift")
-	if err != nil {
-		t.Fatal(err)
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+			t.Errorf("%s %s: want a JSON error body, got decode err %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/drift without -monitor: status %d, want 404", resp.StatusCode)
+}
+
+// TestServeFleetRoutes drives two durable sites through the fleet
+// surface: listing, per-site update/drift, and a rollback whose effect
+// is observable through /sites/{name}/snapshot.
+func TestServeFleetRoutes(t *testing.T) {
+	dataDir := t.TempDir()
+	s := newServer(0)
+	for i, name := range []string{"hq", "annex"} {
+		st, warm, err := buildSite(siteSpec{name: name, env: "office"}, uint64(30+i), dataDir, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatalf("site %s warm-started from an empty directory", name)
+		}
+		if err := st.enableMonitor(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.addSite(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.fleet.Close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	var sites sitesResponse
+	if code := getJSON(t, ts.URL+"/sites", &sites); code != http.StatusOK {
+		t.Fatalf("/sites status %d", code)
+	}
+	if len(sites.Sites) != 2 || sites.Sites[0].Name != "annex" || sites.Sites[1].Name != "hq" {
+		t.Fatalf("/sites = %+v", sites.Sites)
+	}
+	for _, sum := range sites.Sites {
+		if !sum.Durable || sum.Drift == nil || len(sum.StoredVersions) != 1 {
+			t.Errorf("site %s summary %+v: want durable, monitored, 1 stored version", sum.Name, sum)
+		}
 	}
 
-	s := newServer(d, tb, 0)
-	if err := s.enableMonitor(); err != nil {
+	// Update only the annex: versions diverge per site.
+	var up updateResponse
+	if code := postJSON(t, ts.URL+"/sites/annex/update", updateRequest{Days: 30}, &up); code != http.StatusOK {
+		t.Fatalf("annex update status %d", code)
+	}
+	if up.Version != 2 {
+		t.Fatalf("annex update -> v%d", up.Version)
+	}
+	var annex, hq siteSummaryJSON
+	if code := getJSON(t, ts.URL+"/sites/annex", &annex); code != http.StatusOK {
+		t.Fatalf("/sites/annex status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/sites/hq", &hq); code != http.StatusOK {
+		t.Fatalf("/sites/hq status %d", code)
+	}
+	if annex.Version != 2 || hq.Version != 1 {
+		t.Fatalf("annex v%d hq v%d, want 2 and 1", annex.Version, hq.Version)
+	}
+	if len(annex.StoredVersions) != 2 {
+		t.Fatalf("annex stored versions %v", annex.StoredVersions)
+	}
+
+	// Per-site drift endpoints are live and independent.
+	var dr driftResponse
+	if code := getJSON(t, ts.URL+"/sites/hq/drift", &dr); code != http.StatusOK {
+		t.Fatalf("/sites/hq/drift status %d", code)
+	}
+	if dr.Version != 1 {
+		t.Errorf("hq drift tracks v%d, want 1", dr.Version)
+	}
+
+	// Snapshot before rollback, then roll the annex back to v1 and
+	// observe the change through the snapshot route.
+	var v1snap snapshotResponse
+	if code := getJSON(t, ts.URL+"/sites/hq/snapshot", &v1snap); code != http.StatusOK {
+		t.Fatalf("hq snapshot status %d", code)
+	}
+	var v2snap snapshotResponse
+	if code := getJSON(t, ts.URL+"/sites/annex/snapshot", &v2snap); code != http.StatusOK {
+		t.Fatalf("annex snapshot status %d", code)
+	}
+	var rb rollbackResponse
+	if code := postJSON(t, ts.URL+"/sites/annex/rollback?version=1", nil, &rb); code != http.StatusOK {
+		t.Fatalf("rollback status %d", code)
+	}
+	if rb.Version != 3 || rb.RestoredVersion != 1 {
+		t.Fatalf("rollback response %+v", rb)
+	}
+	var v3snap snapshotResponse
+	if code := getJSON(t, ts.URL+"/sites/annex/snapshot", &v3snap); code != http.StatusOK {
+		t.Fatalf("post-rollback snapshot status %d", code)
+	}
+	if v3snap.Version != 3 {
+		t.Fatalf("post-rollback snapshot v%d, want 3", v3snap.Version)
+	}
+	if v3snap.Fingerprints[0][0] == v2snap.Fingerprints[0][0] {
+		t.Error("rollback left the updated fingerprints in place")
+	}
+
+	// Rollback error paths.
+	if code := postJSON(t, ts.URL+"/sites/annex/rollback", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("rollback without version: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/sites/annex/rollback?version=zig", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("rollback with junk version: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/sites/annex/rollback?version=99", nil, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("rollback to missing version: status %d", code)
+	}
+}
+
+// TestServeWarmRestart proves the -data-dir round trip at the serve
+// layer: a site built once persists, and a second buildSite for the
+// same directory warm-starts at the same version with bit-identical
+// localization instead of re-surveying.
+func TestServeWarmRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	spec := siteSpec{name: "default", env: "office"}
+	st1, warm, err := buildSite(spec, 5, dataDir, 0, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.mon.Close()
-	on := httptest.NewServer(s.handler())
+	if warm {
+		t.Fatal("first build claims warm restart")
+	}
+	s1 := newServer(0)
+	if err := s1.addSite(st1); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.handler())
+	var up updateResponse
+	if code := postJSON(t, ts1.URL+"/update", updateRequest{Days: 20}, &up); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	cx, cy := st1.tb.CellCenter(31)
+	probe := st1.tb.MeasureOnline(cx, cy, 20*24*time.Hour)
+	var before locateResponse
+	if code := postJSON(t, ts1.URL+"/locate", locateRequest{RSS: probe}, &before); code != http.StatusOK {
+		t.Fatalf("locate status %d", code)
+	}
+	ts1.Close()
+	if err := s1.fleet.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart the process": rebuild the site from the same data dir.
+	st2, warm, err := buildSite(spec, 5, dataDir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("second build did not warm-start")
+	}
+	s2 := newServer(0)
+	if err := s2.addSite(st2); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.fleet.Close()
+	ts2 := httptest.NewServer(s2.handler())
+	defer ts2.Close()
+	var after locateResponse
+	if code := postJSON(t, ts2.URL+"/locate", locateRequest{RSS: probe}, &after); code != http.StatusOK {
+		t.Fatalf("post-restart locate status %d", code)
+	}
+	if after.Version != before.Version || *after.Position != *before.Position {
+		t.Fatalf("post-restart locate %+v != pre-restart %+v", after, before)
+	}
+}
+
+func TestParseSiteSpecs(t *testing.T) {
+	specs, err := parseSiteSpecs("", "office")
+	if err != nil || len(specs) != 1 || specs[0] != (siteSpec{name: "default", env: "office"}) {
+		t.Fatalf("default spec = %+v, err %v", specs, err)
+	}
+	specs, err = parseSiteSpecs("hq=office, annex=library,spare", "hall")
+	if err != nil || len(specs) != 3 {
+		t.Fatalf("specs = %+v, err %v", specs, err)
+	}
+	if specs[1] != (siteSpec{name: "annex", env: "library"}) || specs[2] != (siteSpec{name: "spare", env: "hall"}) {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if _, err := parseSiteSpecs("a=office,a=library", "office"); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if _, err := parseSiteSpecs("=office", "office"); err == nil {
+		t.Error("empty site name accepted")
+	}
+}
+
+func TestServeDriftEndpointAndMonitorFeed(t *testing.T) {
+	st := newOfficeSite(t, "default", 1)
+	// Without -monitor the endpoint reports 404.
+	sOff := newServer(0)
+	if err := sOff.addSite(st); err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(sOff.handler())
+	defer off.Close()
+	if code := getJSON(t, off.URL+"/drift", nil); code != http.StatusNotFound {
+		t.Errorf("/drift without -monitor: status %d, want 404", code)
+	}
+
+	st2 := newOfficeSite(t, "default", 1)
+	if err := st2.enableMonitor(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.mon.Close()
+	sOn := newServer(0)
+	if err := sOn.addSite(st2); err != nil {
+		t.Fatal(err)
+	}
+	on := httptest.NewServer(sOn.handler())
 	defer on.Close()
 
 	// Served locate traffic must feed the monitor: single and batch.
-	cx, cy := tb.CellCenter(10)
-	rss := tb.MeasureOnline(cx, cy, time.Hour)
+	cx, cy := st2.tb.CellCenter(10)
+	rss := st2.tb.MeasureOnline(cx, cy, time.Hour)
 	if code := postJSON(t, on.URL+"/locate", locateRequest{RSS: rss}, nil); code != http.StatusOK {
 		t.Fatalf("locate status %d", code)
 	}
-	batch := [][]float64{rss, tb.MeasureOnline(cx, cy, time.Hour+time.Minute)}
+	batch := [][]float64{rss, st2.tb.MeasureOnline(cx, cy, time.Hour+time.Minute)}
 	if code := postJSON(t, on.URL+"/locate", locateRequest{Batch: batch}, nil); code != http.StatusOK {
 		t.Fatalf("batch locate status %d", code)
 	}
 
-	resp, err = http.Get(on.URL + "/drift")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/drift status %d", resp.StatusCode)
-	}
 	var dr driftResponse
-	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
-		t.Fatal(err)
+	if code := getJSON(t, on.URL+"/drift", &dr); code != http.StatusOK {
+		t.Fatalf("/drift status %d", code)
 	}
 	if dr.Queries != 3 {
 		t.Errorf("monitor observed %d queries, want 3 (1 single + 2 batch)", dr.Queries)
@@ -197,13 +453,12 @@ func TestServeDriftEndpointAndMonitorFeed(t *testing.T) {
 }
 
 func TestServeGracefulShutdown(t *testing.T) {
-	tb := iupdater.NewTestbed(iupdater.Office(), 1)
-	d, _, err := tb.Deploy(0, 20)
-	if err != nil {
+	st := newOfficeSite(t, "default", 1)
+	if err := st.enableMonitor(); err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(d, tb, 0)
-	if err := s.enableMonitor(); err != nil {
+	s := newServer(0)
+	if err := s.addSite(st); err != nil {
 		t.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -216,15 +471,15 @@ func TestServeGracefulShutdown(t *testing.T) {
 	cleaned := make(chan struct{})
 	go func() {
 		done <- serveUntil(ctx, srv, ln, 5*time.Second, func() {
-			s.mon.Close()
+			st.mon.Close()
 			close(cleaned)
 		})
 	}()
 
 	// The server must actually be serving before we shut it down.
 	url := "http://" + ln.Addr().String()
-	cx, cy := tb.CellCenter(5)
-	rss := tb.MeasureOnline(cx, cy, time.Hour)
+	cx, cy := st.tb.CellCenter(5)
+	rss := st.tb.MeasureOnline(cx, cy, time.Hour)
 	if code := postJSON(t, url+"/locate", locateRequest{RSS: rss}, nil); code != http.StatusOK {
 		t.Fatalf("pre-shutdown locate status %d", code)
 	}
@@ -244,7 +499,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("cleanup did not run before serveUntil returned")
 	}
 	// The monitor is stopped: further observations must be rejected.
-	if err := s.mon.Observe(rss); err == nil {
+	if err := st.mon.Observe(rss); err == nil {
 		t.Error("monitor still accepting observations after shutdown")
 	}
 	// And the listener is really closed.
@@ -256,12 +511,10 @@ func TestServeGracefulShutdown(t *testing.T) {
 func TestServePprofGating(t *testing.T) {
 	// The profiling endpoints must be absent by default and present only
 	// when the -pprof flag enables them.
-	tb := iupdater.NewTestbed(iupdater.Office(), 1)
-	d, _, err := tb.Deploy(0, 20)
-	if err != nil {
+	s := newServer(0)
+	if err := s.addSite(newOfficeSite(t, "default", 1)); err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(d, tb, 0)
 	off := httptest.NewServer(s.handler())
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")
@@ -283,5 +536,15 @@ func TestServePprofGating(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof index with -pprof: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestParseSiteSpecsRejectsUnsafeNames(t *testing.T) {
+	// Names become -data-dir subdirectories and URL path segments; they
+	// must be rejected before buildSite touches the filesystem.
+	for _, bad := range []string{"..", "a/b", "a.b", "..=office", "evil/../../x=office"} {
+		if _, err := parseSiteSpecs(bad, "office"); err == nil {
+			t.Errorf("unsafe -sites spec %q accepted", bad)
+		}
 	}
 }

@@ -54,6 +54,7 @@ type config struct {
 	noC2       bool
 	workers    int
 	updateConc int
+	store      *Store
 }
 
 // WithReferenceCount overrides the number of reference locations (default:
@@ -96,6 +97,21 @@ func WithUpdateConcurrency(n int) Option {
 		n = -1
 	}
 	return func(c *config) { c.updateConc = n }
+}
+
+// WithStore attaches a durable snapshot store: every published snapshot
+// (the initial database, each Update/Install/auto-update, rollbacks) is
+// written and fsynced to the store before it becomes visible to queries,
+// so a process restart warm-starts from the latest version with
+// OpenDeployment instead of re-surveying. Persistence happens on the
+// serialized write path; the lock-free query path never touches disk.
+//
+// If the store already holds snapshots (e.g. from a previous deployment
+// life), version numbering continues after the stored history instead of
+// restarting at 1. A Store must be attached to at most one live
+// Deployment at a time.
+func WithStore(st *Store) Option {
+	return func(c *config) { c.store = st }
 }
 
 // Snapshot is one immutable published version of the fingerprint
@@ -233,9 +249,61 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 		cfg:  cfg,
 		subs: make(map[uint64]chan *Snapshot),
 	}
-	d.snap.Store(newSnapshot(1, fingerprints.Clone(), grid))
+	// A store that already holds history (a previous deployment life,
+	// e.g. before a fresh full survey) keeps the version line monotonic:
+	// the new initial snapshot continues after the stored versions.
+	version := uint64(1)
+	if cfg.store != nil {
+		version = cfg.store.LatestVersion() + 1
+	}
+	snap := newSnapshot(version, fingerprints.Clone(), grid)
+	if cfg.store != nil {
+		if err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
+			return nil, err
+		}
+	}
+	d.snap.Store(snap)
 	return d, nil
 }
+
+// OpenDeployment warm-starts a Deployment from the latest snapshot in a
+// durable store: the fingerprint database, geometry and version number
+// are restored exactly as last published, so a restarted process serves
+// bit-identical localization without a re-survey. The store stays
+// attached — subsequent publishes keep appending to it. Options are
+// applied as in NewDeployment (a WithStore option is unnecessary and
+// ignored in favor of st).
+func OpenDeployment(st *Store, opts ...Option) (*Deployment, error) {
+	if st == nil {
+		return nil, fmt.Errorf("iupdater: OpenDeployment: nil store")
+	}
+	version, fp, g, err := st.latestSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.store = st
+	if g.Links <= 0 || g.PerStrip <= 0 || g.WidthM <= 0 || g.HeightM <= 0 {
+		return nil, fmt.Errorf("iupdater: stored geometry %+v is invalid", g)
+	}
+	grid := g.grid()
+	d := &Deployment{
+		geo:  g,
+		grid: grid,
+		cfg:  cfg,
+		subs: make(map[uint64]chan *Snapshot),
+	}
+	// fp was decoded into fresh storage, so no defensive clone is needed.
+	d.snap.Store(newSnapshot(version, fp, grid))
+	return d, nil
+}
+
+// Store returns the attached durable snapshot store, nil for an
+// in-memory deployment.
+func (d *Deployment) Store() *Store { return d.cfg.store }
 
 // Geometry returns the deployment layout.
 func (d *Deployment) Geometry() Geometry { return d.geo }
@@ -352,7 +420,7 @@ func (d *Deployment) Update(noDecrease Matrix, known Mask, references Matrix) (*
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: %w", err)
 	}
-	return d.publishLocked(matrixFromDense(updated.X)), nil
+	return d.publishLocked(matrixFromDense(updated.X))
 }
 
 // Install replaces the database wholesale (e.g. after a fresh full
@@ -374,7 +442,43 @@ func (d *Deployment) Install(fingerprints Matrix) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := d.publishLocked(fp)
+	snap, err := d.publishLocked(fp)
+	if err != nil {
+		return nil, err
+	}
+	d.updater = up
+	return snap, nil
+}
+
+// Rollback republishes a previously stored snapshot version as the
+// latest: the retained version's fingerprints are loaded from the
+// attached store, reference selection and correlation acquisition are
+// re-run on them (as in Install), and the result is published under the
+// next version number — history stays append-only and versions stay
+// monotonic, so a rollback is itself a recorded, durable event that a
+// later Rollback can undo. Requires a store (WithStore/OpenDeployment);
+// versions outside the retention window are an error.
+func (d *Deployment) Rollback(version uint64) (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.store == nil {
+		return nil, fmt.Errorf("iupdater: Rollback needs a durable store (attach one with WithStore or OpenDeployment)")
+	}
+	fp, g, err := d.cfg.store.SnapshotAt(version)
+	if err != nil {
+		return nil, err
+	}
+	if g != d.geo {
+		return nil, fmt.Errorf("iupdater: snapshot v%d was published under geometry %+v, deployment has %+v", version, g, d.geo)
+	}
+	up, err := d.buildUpdater(fp)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := d.publishLocked(fp)
+	if err != nil {
+		return nil, err
+	}
 	d.updater = up
 	return snap, nil
 }
@@ -394,10 +498,16 @@ func (d *Deployment) Refresh() error {
 	return nil
 }
 
-// publishLocked stamps the next version, swaps the snapshot in and
-// notifies subscribers. d.mu must be held.
-func (d *Deployment) publishLocked(fp Matrix) *Snapshot {
+// publishLocked stamps the next version, persists it (durability before
+// visibility: a failed append publishes nothing), swaps the snapshot in
+// and notifies subscribers. d.mu must be held.
+func (d *Deployment) publishLocked(fp Matrix) (*Snapshot, error) {
 	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid)
+	if d.cfg.store != nil {
+		if err := d.cfg.store.appendSnapshot(snap.version, d.geo, snap.fp); err != nil {
+			return nil, err
+		}
+	}
 	d.snap.Store(snap)
 	d.subMu.Lock()
 	for _, ch := range d.subs {
@@ -407,7 +517,7 @@ func (d *Deployment) publishLocked(fp Matrix) *Snapshot {
 		}
 	}
 	d.subMu.Unlock()
-	return snap
+	return snap, nil
 }
 
 // Updates returns a channel receiving every newly published snapshot

@@ -92,6 +92,60 @@
 // an operator-triggered one, with zero false detections over 10k
 // stationary queries.
 //
+// # Durability and fleet serving
+//
+// A Deployment is in-memory by default: a restart loses every published
+// version and forces the cold re-survey the paper exists to avoid. The
+// Store type makes publishing durable. OpenStore opens one directory per
+// site holding an append-only, checksummed binary log of snapshot
+// records (per record: magic, version, length, CRC32 header, then the
+// geometry + column-major fingerprint payload — see internal/store for
+// the exact layout). Attach it with WithStore and every publish (the
+// initial survey, each Update/Install, every monitor auto-update,
+// rollbacks) is written and fsynced before the new snapshot becomes
+// visible to queries: any version a query ever observed is on disk.
+// Persistence runs on the serialized write path; the lock-free query
+// path never touches disk.
+//
+// The durability contract is the standard write-ahead one: record
+// appends are a single write + fsync, so a crash leaves at most one
+// torn tail record, which the next OpenStore detects (length/CRC) and
+// truncates, recovering to the newest durable version instead of
+// failing open; compaction and auxiliary state writes go through
+// temp-file + fsync + rename, so they are atomic against crashes.
+// OpenDeployment warm-starts a Deployment from a store's latest record
+// — same version number, bit-identical localization, no re-survey —
+// and a Monitor constructed over a stored Deployment resumes its
+// previous life: counters continue and the calibrated detector floor is
+// re-installed (when the snapshot version still matches) instead of
+// burning a fresh calibration window.
+//
+// History is append-only and versions strictly increase, which makes
+// rollback an ordinary publish: Deployment.Rollback(v) loads a retained
+// version and republishes its fingerprints under the next version
+// number. WithRetention bounds how many versions a store keeps (older
+// records are removed by compaction and leave the rollback window);
+// the default keeps everything.
+//
+// The Fleet type scales this from one site to many: a registry of named
+// site deployments (each with its own store directory, monitor and
+// version line), with one Close for the whole lifecycle and Summaries
+// as the aggregated dashboard. cmd/iupdater serve exposes it over HTTP:
+//
+//	GET  /sites                        fleet dashboard (version + drift per site)
+//	GET  /sites/{name}                 one site's summary incl. retained versions
+//	POST /sites/{name}/locate          localization (single or batch)
+//	POST /sites/{name}/update          database refresh (raw or testbed-driven)
+//	GET  /sites/{name}/snapshot        the serving fingerprint database
+//	GET  /sites/{name}/drift           monitor counters (404 without -monitor)
+//	POST /sites/{name}/rollback?version=N  republish a retained version
+//
+// The original single-site routes (/locate, /update, /snapshot, /drift,
+// /rollback) remain as aliases for the default site; every route
+// answers wrong-method hits with 405 and an Allow header. Sites are
+// declared with -sites name=env,...; -data-dir roots the per-site
+// stores and makes restarts warm; -retain bounds each store.
+//
 // # Update-path performance
 //
 // The reconstruction solver is built on an allocation-free kernel layer

@@ -1,0 +1,164 @@
+// Multi-site fleet with durable snapshot stores: two deployments, one
+// drifts, the auto-update persists, and a process restart warm-starts.
+//
+// Every snapshot a Deployment publishes normally lives only in RAM, so
+// a crash or redeploy throws the refreshed database away and forces the
+// cold re-survey iUpdater exists to avoid. This walkthrough runs two
+// office sites ("hq" and "annex") under one Fleet, each with its own
+// on-disk store and drift monitor. The annex is rearranged mid-run: its
+// monitor detects the drift and publishes an auto-update, durably. Then
+// the whole process "restarts" — every handle is closed and rebuilt
+// from the store directories — and both sites come back at their exact
+// published versions with bit-identical localization and resumed (not
+// reset) monitor counters. Finally the annex is rolled back to its
+// original database, which is itself just another durable version.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"iupdater"
+)
+
+const day = 24 * time.Hour
+
+type siteRun struct {
+	name  string
+	tb    *iupdater.Testbed
+	dep   *iupdater.Deployment
+	mon   *iupdater.Monitor
+	clock time.Duration
+}
+
+// open wires one durable, monitored site: a store under root/name, a
+// deployment publishing through it (warm-started if the store already
+// holds versions), and a synchronous monitor for a deterministic
+// walkthrough.
+func open(root, name string, seed uint64) *siteRun {
+	st, err := iupdater.OpenStore(filepath.Join(root, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &siteRun{name: name, tb: iupdater.NewTestbed(iupdater.Office(), seed)}
+	if st.LatestVersion() > 0 {
+		if s.dep, err = iupdater.OpenDeployment(st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: warm restart at snapshot v%d (no re-survey)\n", name, s.dep.Version())
+	} else {
+		var labor iupdater.LaborCost
+		if s.dep, labor, err = s.tb.Deploy(0, 50, iupdater.WithStore(st)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: surveyed (%s of labor), snapshot v1 persisted to %s\n",
+			name, labor.Duration.Round(time.Second), st.Dir())
+	}
+	s.mon, err = iupdater.NewMonitor(s.dep,
+		s.tb.Sampler(func() time.Duration { return s.clock }),
+		iupdater.WithSynchronousUpdates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// serve pushes n localization queries through the site at the given
+// deployment age, feeding the monitor like a production server would.
+func (s *siteRun) serve(rng *rand.Rand, n int, age time.Duration) {
+	for q := 0; q < n; q++ {
+		s.clock = age + time.Duration(q)*500*time.Millisecond
+		cx, cy := s.tb.CellCenter(rng.Intn(s.tb.NumCells()))
+		rss := s.tb.MeasureOnline(cx, cy, s.clock)
+		if _, err := s.dep.Locate(rss); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.mon.Observe(rss); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	root, err := os.MkdirTemp("", "iupdater-fleet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	fmt.Printf("fleet data dir: %s\n\nfirst process life:\n", root)
+
+	fleet := iupdater.NewFleet()
+	hq, annex := open(root, "hq", 7), open(root, "annex", 8)
+	for _, s := range []*siteRun{hq, annex} {
+		if _, err := fleet.Add(s.name, s.dep, s.mon); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Both sites serve stationary traffic; then the annex is rearranged
+	// overnight (45 days of drift land at once) and keeps serving until
+	// its monitor repairs it. The hq never changes and must stay quiet.
+	rng := rand.New(rand.NewSource(1))
+	hq.serve(rng, 600, time.Hour)
+	annex.serve(rng, 600, time.Hour)
+	fmt.Println("\nthe annex is rearranged overnight; hq is untouched...")
+	annex.serve(rng, 400, 45*day)
+	hq.serve(rng, 400, time.Hour+5*time.Minute)
+
+	for _, sum := range fleet.Summaries() {
+		fmt.Printf("  %s: v%d, %d stored version(s), %d detection(s), %d auto-update(s)\n",
+			sum.Name, sum.Version, len(sum.StoredVersions), sum.Drift.Detections, sum.Drift.UpdatesCompleted)
+	}
+	if annex.mon.Stats().UpdatesCompleted == 0 {
+		log.Fatal("annex monitor never repaired its database")
+	}
+
+	// Remember exactly what each site serves, then kill the process
+	// (close every monitor and store).
+	probe := annex.tb.MeasureOnline(6.0, 4.5, 45*day+time.Hour)
+	beforeRestart, err := annex.dep.Locate(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	annexQueries := annex.mon.Stats().Queries
+	annexVersion := annex.dep.Version()
+	if err := fleet.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nprocess restarts — every site reopens from its store:")
+	fleet2 := iupdater.NewFleet()
+	hq2, annex2 := open(root, "hq", 7), open(root, "annex", 8)
+	for _, s := range []*siteRun{hq2, annex2} {
+		if _, err := fleet2.Add(s.name, s.dep, s.mon); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer fleet2.Close()
+	if annex2.dep.Version() != annexVersion {
+		log.Fatalf("annex restarted at v%d, want v%d", annex2.dep.Version(), annexVersion)
+	}
+	afterRestart, err := annex2.dep.Locate(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  annex estimate for the same probe: (%.3f, %.3f) before, (%.3f, %.3f) after — bit-identical: %v\n",
+		beforeRestart.X, beforeRestart.Y, afterRestart.X, afterRestart.Y, beforeRestart == afterRestart)
+	fmt.Printf("  annex monitor resumes at %d queries (was %d) with its calibrated floor intact\n",
+		annex2.mon.Stats().Queries, annexQueries)
+
+	// Rollback: the annex's original database is still version 1 in the
+	// store; republishing it is one call and itself durable.
+	rolled, err := annex2.dep.Rollback(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nannex rolled back to v1's database, published durably as v%d\n", rolled.Version())
+	for _, sum := range fleet2.Summaries() {
+		fmt.Printf("  %s: v%d, stored versions %v\n", sum.Name, sum.Version, sum.StoredVersions)
+	}
+}

@@ -1,0 +1,186 @@
+package iupdater
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fleet is a registry of named site deployments — one Deployment (with
+// an optional Monitor and durable Store) per physical site — for
+// operators running device-free localization across many rooms,
+// buildings or branches. Each site drifts on its own schedule and owns
+// its own store directory, monitor and version line; the Fleet gives
+// them one lifecycle (Close) and one observability surface (Summaries),
+// which cmd/iupdater's serve mode exposes under /sites.
+//
+// All methods are safe for concurrent use. Sites are added while wiring
+// the process up and live until Close; per-site request traffic goes
+// straight to the site's own Deployment/Monitor, so the fleet registry
+// is never on a query hot path.
+type Fleet struct {
+	mu    sync.RWMutex
+	sites map[string]*Site
+}
+
+// Site is one named deployment registered in a Fleet.
+type Site struct {
+	name string
+	dep  *Deployment
+	mon  *Monitor
+}
+
+// Name returns the site's registry name.
+func (s *Site) Name() string { return s.name }
+
+// Deployment returns the site's deployment.
+func (s *Site) Deployment() *Deployment { return s.dep }
+
+// Monitor returns the site's drift monitor, nil if the site runs
+// without one.
+func (s *Site) Monitor() *Monitor { return s.mon }
+
+// Summary returns the site's point-in-time serving state.
+func (s *Site) Summary() SiteSummary {
+	sum := SiteSummary{
+		Name:    s.name,
+		Version: s.dep.Version(),
+		Links:   s.dep.Geometry().Links,
+		Cells:   s.dep.Geometry().NumCells(),
+	}
+	if st := s.dep.Store(); st != nil {
+		sum.Durable = true
+		sum.StoredVersions = st.Versions()
+	}
+	if s.mon != nil {
+		stats := s.mon.Stats()
+		sum.Drift = &stats
+	}
+	return sum
+}
+
+// SiteSummary is the per-site line of the fleet dashboard: identity,
+// serving version, durability and drift state.
+type SiteSummary struct {
+	// Name is the site's registry name.
+	Name string
+	// Version is the latest published snapshot version.
+	Version uint64
+	// Links and Cells describe the site's geometry.
+	Links, Cells int
+	// Durable reports whether a snapshot store is attached.
+	Durable bool
+	// StoredVersions lists the store's retained versions (ascending),
+	// nil for in-memory sites. These are the versions Rollback accepts.
+	StoredVersions []uint64
+	// Drift carries the monitor counters, nil for unmonitored sites.
+	Drift *MonitorStats
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{sites: make(map[string]*Site)}
+}
+
+// Add registers a site under a unique name (letters, digits, - and _;
+// it becomes a URL path segment in serve mode). mon may be nil for an
+// unmonitored site. The fleet takes over lifecycle: Close closes the
+// site's monitor and store.
+func (f *Fleet) Add(name string, d *Deployment, mon *Monitor) (*Site, error) {
+	if d == nil {
+		return nil, errors.New("iupdater: Fleet.Add: nil deployment")
+	}
+	if err := checkSiteName(name); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.sites[name]; ok {
+		return nil, fmt.Errorf("iupdater: site %q already registered", name)
+	}
+	site := &Site{name: name, dep: d, mon: mon}
+	f.sites[name] = site
+	return site, nil
+}
+
+func checkSiteName(name string) error {
+	if name == "" {
+		return errors.New("iupdater: empty site name")
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < 'A' || r > 'Z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			return fmt.Errorf("iupdater: site name %q: use letters, digits, - and _", name)
+		}
+	}
+	return nil
+}
+
+// Site looks a site up by name.
+func (f *Fleet) Site(name string) (*Site, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sites[name]
+	return s, ok
+}
+
+// Names returns the registered site names in ascending order.
+func (f *Fleet) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.sites))
+	for name := range f.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summaries returns every site's summary, ordered by name — the fleet
+// dashboard aggregating each site's version and drift state.
+func (f *Fleet) Summaries() []SiteSummary {
+	f.mu.RLock()
+	sites := make([]*Site, 0, len(f.sites))
+	for _, s := range f.sites {
+		sites = append(sites, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	out := make([]SiteSummary, len(sites))
+	for i, s := range sites {
+		// Summary takes per-site locks only; the registry lock is
+		// already released so a slow site cannot block Add/Site.
+		out[i] = s.Summary()
+	}
+	return out
+}
+
+// Close shuts every site down: monitors first (waiting out in-flight
+// auto-updates, persisting their final state), then stores. Errors are
+// joined; the fleet keeps closing remaining sites after a failure.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	sites := make([]*Site, 0, len(f.sites))
+	for _, s := range f.sites {
+		sites = append(sites, s)
+	}
+	f.sites = make(map[string]*Site)
+	f.mu.Unlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	var errs []string
+	for _, s := range sites {
+		if s.mon != nil {
+			s.mon.Close()
+		}
+		if st := s.dep.Store(); st != nil {
+			if err := st.Close(); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %v", s.name, err))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("iupdater: closing fleet: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package iupdater
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFleetRegistry(t *testing.T) {
+	f := NewFleet()
+	tb := NewTestbed(Office(), 1)
+	d1, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2 := NewTestbed(Office(), 2)
+	d2, _, err := tb2.Deploy(0, 20, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(d2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := f.Add("hq", d1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("annex", d2, mon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("hq", d1, nil); err == nil {
+		t.Error("duplicate site name accepted")
+	}
+	if _, err := f.Add("bad/name", d1, nil); err == nil {
+		t.Error("slash in site name accepted")
+	}
+	if _, err := f.Add("", d1, nil); err == nil {
+		t.Error("empty site name accepted")
+	}
+	if _, err := f.Add("nil", nil, nil); err == nil {
+		t.Error("nil deployment accepted")
+	}
+
+	if names := f.Names(); len(names) != 2 || names[0] != "annex" || names[1] != "hq" {
+		t.Fatalf("Names = %v, want [annex hq]", names)
+	}
+	site, ok := f.Site("annex")
+	if !ok || site.Name() != "annex" || site.Deployment() != d2 || site.Monitor() != mon {
+		t.Fatalf("Site(annex) = %+v, ok=%v", site, ok)
+	}
+	if _, ok := f.Site("nowhere"); ok {
+		t.Error("lookup of unknown site succeeded")
+	}
+
+	sums := f.Summaries()
+	if len(sums) != 2 || sums[0].Name != "annex" || sums[1].Name != "hq" {
+		t.Fatalf("Summaries = %+v", sums)
+	}
+	annex, hq := sums[0], sums[1]
+	if !annex.Durable || annex.Drift == nil || len(annex.StoredVersions) != 1 {
+		t.Errorf("annex summary %+v: want durable, monitored, 1 stored version", annex)
+	}
+	if hq.Durable || hq.Drift != nil || hq.StoredVersions != nil {
+		t.Errorf("hq summary %+v: want in-memory, unmonitored", hq)
+	}
+	if annex.Version != 1 || annex.Links != 8 || annex.Cells != 96 {
+		t.Errorf("annex summary %+v", annex)
+	}
+
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the monitor and the store.
+	if err := mon.Observe(make([]float64, 8)); err == nil {
+		t.Error("monitor still accepts observations after fleet Close")
+	}
+	if _, err := d2.Install(d2.Snapshot().Fingerprints()); err == nil {
+		t.Error("publish into a closed store succeeded")
+	}
+	if names := f.Names(); len(names) != 0 {
+		t.Errorf("sites survive Close: %v", names)
+	}
+}
+
+// TestFleetTwoSitesConcurrentHammer serves two independent durable
+// sites concurrently under the update-while-locate pattern: per site,
+// readers localize lock-free while the writer publishes updates, and
+// (under -race) nothing tears across sites — each site's version line
+// advances independently and every estimate stays finite.
+func TestFleetTwoSitesConcurrentHammer(t *testing.T) {
+	f := NewFleet()
+	type siteCtx struct {
+		name string
+		tb   *Testbed
+		d    *Deployment
+	}
+	var sites []siteCtx
+	for i, name := range []string{"east", "west"} {
+		st, err := OpenStore(t.TempDir(), WithoutSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := NewTestbed(Office(), uint64(10+i))
+		d, _, err := tb.Deploy(0, 20, WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Add(name, d, nil); err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, siteCtx{name: name, tb: tb, d: d})
+	}
+	defer f.Close()
+
+	const updates = 3
+	const readers = 3
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*(readers+1))
+	for _, sc := range sites {
+		refs, err := sc.d.ReferenceLocations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx, cy := sc.tb.CellCenter(13)
+		probe := sc.tb.MeasureOnline(cx, cy, time.Hour)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(sc siteCtx) {
+				defer wg.Done()
+				var last uint64
+				for !stop.Load() {
+					snap := sc.d.Snapshot()
+					if v := snap.Version(); v < last {
+						errc <- fmt.Errorf("%s: version went backwards: %d after %d", sc.name, v, last)
+						return
+					} else {
+						last = v
+					}
+					p, err := snap.Locate(probe)
+					if err != nil {
+						errc <- fmt.Errorf("%s: %w", sc.name, err)
+						return
+					}
+					if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+						errc <- fmt.Errorf("%s: NaN estimate", sc.name)
+						return
+					}
+				}
+			}(sc)
+		}
+		wg.Add(1)
+		go func(sc siteCtx, refs []int) {
+			defer wg.Done()
+			for u := 1; u <= updates; u++ {
+				at := time.Duration(u) * 10 * day
+				cols, _ := sc.tb.ReferenceMatrix(at, refs)
+				if _, err := sc.d.Update(sc.tb.NoDecreaseMatrix(at), sc.tb.Mask(), cols); err != nil {
+					errc <- fmt.Errorf("%s: %w", sc.name, err)
+					return
+				}
+			}
+		}(sc, refs)
+	}
+	// Summaries concurrently with traffic: the dashboard must never
+	// block or tear either.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			for _, sum := range f.Summaries() {
+				if sum.Version == 0 {
+					errc <- fmt.Errorf("%s: summary saw version 0", sum.Name)
+					return
+				}
+			}
+		}
+	}()
+
+	// Let the writers finish, then stop the readers.
+	deadline := time.After(30 * time.Second)
+	for {
+		done := true
+		for _, sc := range sites {
+			if sc.d.Version() != 1+updates {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("writers did not finish in time")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	for _, sc := range sites {
+		if v := sc.d.Version(); v != 1+updates {
+			t.Errorf("%s: final version %d, want %d", sc.name, v, 1+updates)
+		}
+		if vs := sc.d.Store().Versions(); len(vs) != 1+updates {
+			t.Errorf("%s: %d stored versions, want %d", sc.name, len(vs), 1+updates)
+		}
+	}
+}

@@ -55,6 +55,20 @@ func (b *baseline) observe(r float64, minSigma float64) bool {
 
 func (b *baseline) reset() { *b = baseline{target: b.target} }
 
+// export returns the calibrated floor; ok is false during calibration.
+func (b *baseline) export() (mu, sigma float64, ok bool) {
+	return b.mu, b.sigma, b.n >= b.target
+}
+
+// install skips calibration by marking the baseline complete at the
+// given floor (e.g. one persisted from a previous process life).
+func (b *baseline) install(mu, sigma float64, minSigma float64) {
+	b.reset()
+	b.n = b.target
+	b.mu = mu
+	b.sigma = math.Max(sigma, minSigma)
+}
+
 // MeanShiftConfig tunes the sliding-window mean-shift detector. The zero
 // value selects the defaults noted per field.
 type MeanShiftConfig struct {
@@ -168,6 +182,19 @@ func (d *MeanShift) Reset() {
 	d.head, d.filled, d.winSum = 0, 0, 0
 }
 
+// Baseline exports the calibrated residual floor for persistence; ok is
+// false while the detector is still calibrating.
+func (d *MeanShift) Baseline() (mu, sigma float64, ok bool) { return d.base.export() }
+
+// SetBaseline installs a previously exported floor, skipping the
+// calibration window entirely: the detector is armed as soon as the
+// sliding window refills (Window observations instead of Baseline +
+// Window). All streaming state is reset first.
+func (d *MeanShift) SetBaseline(mu, sigma float64) {
+	d.Reset()
+	d.base.install(mu, sigma, d.cfg.MinSigma)
+}
+
 // PageHinkleyConfig tunes the Page-Hinkley (one-sided CUSUM) detector.
 // The zero value selects the defaults noted per field.
 type PageHinkleyConfig struct {
@@ -246,4 +273,16 @@ func (d *PageHinkley) Score() float64 {
 func (d *PageHinkley) Reset() {
 	d.base.reset()
 	d.mt, d.min = 0, 0
+}
+
+// Baseline exports the calibrated residual floor for persistence; ok is
+// false while the detector is still calibrating.
+func (d *PageHinkley) Baseline() (mu, sigma float64, ok bool) { return d.base.export() }
+
+// SetBaseline installs a previously exported floor, skipping the
+// calibration window entirely: the cumulative statistic restarts at
+// zero against the installed floor. All streaming state is reset first.
+func (d *PageHinkley) SetBaseline(mu, sigma float64) {
+	d.Reset()
+	d.base.install(mu, sigma, d.cfg.MinSigma)
 }

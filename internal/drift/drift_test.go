@@ -196,3 +196,75 @@ func TestDetectorsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestBaselineExportImportSkipsCalibration(t *testing.T) {
+	// Calibrate a detector on a stationary stream, export the floor,
+	// import it into a fresh detector (a process restart): the restored
+	// detector must flag a shift without re-running the 200-sample
+	// calibration window, and must not false-positive on the floor.
+	next := noisyStream(11, 1.0, 0.1)
+	src := NewMeanShift(MeanShiftConfig{Baseline: 200, Window: 64, K: 5, MinShiftDB: 0.3})
+	for i := 0; i < 400; i++ {
+		src.Observe(next())
+	}
+	mu, sigma, ok := src.Baseline()
+	if !ok {
+		t.Fatal("source detector not calibrated after 400 samples")
+	}
+	if mu < 0.9 || mu > 1.1 {
+		t.Fatalf("exported mu %.3f far from the true floor 1.0", mu)
+	}
+
+	restored := NewMeanShift(MeanShiftConfig{Baseline: 200, Window: 64, K: 5, MinShiftDB: 0.3})
+	if _, _, ok := restored.Baseline(); ok {
+		t.Fatal("fresh detector claims to be calibrated")
+	}
+	restored.SetBaseline(mu, sigma)
+	if rmu, _, ok := restored.Baseline(); !ok || rmu != mu {
+		t.Fatalf("Baseline after SetBaseline = %.3f ok=%v", rmu, ok)
+	}
+	// Stationary traffic at the restored floor: no flags.
+	for i := 0; i < 1000; i++ {
+		if restored.Observe(next()) {
+			t.Fatalf("false positive at %d after baseline import", i)
+		}
+	}
+	// A shift flags within ~the window — far sooner than the 200-sample
+	// calibration a cold detector would need first.
+	shifted := noisyStream(12, 2.0, 0.1)
+	flaggedAt := -1
+	for i := 0; i < 200; i++ {
+		if restored.Observe(shifted()) {
+			flaggedAt = i
+			break
+		}
+	}
+	if flaggedAt < 0 || flaggedAt > 128 {
+		t.Fatalf("restored detector flagged at %d, want within 128", flaggedAt)
+	}
+
+	// Same restart contract for Page-Hinkley.
+	ph := NewPageHinkley(PageHinkleyConfig{Baseline: 200, Delta: 0.5, Lambda: 40})
+	ph.SetBaseline(mu, sigma)
+	if _, _, ok := ph.Baseline(); !ok {
+		t.Fatal("PageHinkley not calibrated after SetBaseline")
+	}
+	flaggedAt = -1
+	for i := 0; i < 500; i++ {
+		if ph.Observe(shifted()) {
+			flaggedAt = i
+			break
+		}
+	}
+	if flaggedAt < 0 {
+		t.Fatal("restored PageHinkley never flagged a 10-sigma shift")
+	}
+}
+
+func TestSetBaselineFloorsSigma(t *testing.T) {
+	d := NewMeanShift(MeanShiftConfig{MinSigma: 0.05})
+	d.SetBaseline(1.0, 0) // a zero sigma would make every threshold zero
+	if _, sigma, ok := d.Baseline(); !ok || sigma < 0.05 {
+		t.Fatalf("sigma %.3f not floored to MinSigma", sigma)
+	}
+}

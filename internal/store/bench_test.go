@@ -1,0 +1,35 @@
+package store
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkStoreAppendLoad measures one durable publish + warm-load
+// round trip: Append of an office-sized snapshot payload (8 links x 96
+// cells of float64, ~6 KiB) followed by Latest. fsync dominates the
+// wall time; the regression metric is allocs/op — the documented budget
+// is <= 12 allocs per round trip (one record buffer and one payload
+// read buffer, plus fixed fsync/index overhead), enforced by
+// scripts/bench.sh.
+func BenchmarkStoreAppendLoad(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := make([]byte, 8*96*8)
+	for i := 0; i < len(payload); i += 8 {
+		binary.LittleEndian.PutUint64(payload[i:], uint64(i)*0x9E3779B97F4A7C15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(uint64(i+1), payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, p, err := s.Latest(); err != nil || len(p) != len(payload) {
+			b.Fatalf("Latest: %v", err)
+		}
+	}
+}

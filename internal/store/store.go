@@ -1,0 +1,475 @@
+// Package store is a durable, versioned snapshot store: an append-only,
+// checksummed record log on disk, one directory per deployment site.
+//
+// # On-disk format
+//
+// The log file (snapshots.log) is a sequence of records:
+//
+//	offset  size  field
+//	0       4     magic "iUPS" (little-endian 0x53505569)
+//	4       8     version (uint64 LE, strictly increasing within the log)
+//	12      4     payload length (uint32 LE)
+//	16      4     CRC32 (IEEE) over bytes [4,16) + payload
+//	20      n     payload (opaque to the store)
+//
+// Append writes one record with a single write(2) followed by fsync, so
+// a crash leaves at most one torn record at the tail. Open scans the log
+// front to back, verifying magic, length bounds, CRC and version
+// monotonicity per record; the first record that fails any check ends
+// the scan and the file is truncated back to the last good record —
+// corruption (a torn tail, a flipped bit) costs the corrupted suffix,
+// never the store.
+//
+// Compaction (retention) rewrites the retained suffix of records to a
+// temp file in the same directory, fsyncs it, and atomically renames it
+// over the log, so readers of the directory never observe a partially
+// compacted log.
+//
+// Small auxiliary state blobs (e.g. a drift monitor's calibrated
+// baseline) are stored next to the log as <name>.state files, each a
+// single checksummed record replaced atomically via temp-file+rename; a
+// corrupt or missing state file reads as absent, never as an error.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	recordMagic = 0x53505569 // "iUPS" little-endian
+	stateMagic  = 0x54535569 // "iUST" little-endian
+	headerSize  = 20
+	// maxPayload bounds a single record (1 GiB); a length field beyond it
+	// is treated as corruption rather than attempted as an allocation.
+	maxPayload = 1 << 30
+
+	logName = "snapshots.log"
+)
+
+// ErrEmpty is returned by Latest on a store with no records.
+var ErrEmpty = errors.New("store: no snapshots")
+
+// Options configures a Store.
+type Options struct {
+	// Retain keeps only the newest Retain versions; 0 keeps every
+	// version forever. Retention is enforced by compaction, triggered
+	// automatically once the log holds 2*Retain records (amortizing the
+	// rewrite) and on demand via Compact.
+	Retain int
+	// NoSync skips fsync after writes. Only for tests and benchmarks
+	// that measure the in-memory path; durability requires the default.
+	NoSync bool
+}
+
+type indexEntry struct {
+	version uint64
+	off     int64 // record start (header) offset in the log
+	plen    uint32
+}
+
+// Store is an open snapshot store directory. All methods are safe for
+// concurrent use: appends and compactions are serialized, reads run
+// concurrently against the immutable written prefix.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu   sync.RWMutex
+	f    *os.File
+	size int64
+	idx  []indexEntry
+}
+
+// Open opens (creating if needed) the store directory and recovers the
+// record index from the log, truncating any corrupted suffix back to
+// the last good record.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, f: f}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !opts.NoSync {
+		// Persist the directory entry of a freshly created log.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover scans the log, building the index from the longest valid
+// record prefix and truncating everything after it.
+func (s *Store) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fileSize := info.Size()
+	var (
+		off  int64
+		hdr  [headerSize]byte
+		last uint64
+	)
+	for off+headerSize <= fileSize {
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:4])
+		version := binary.LittleEndian.Uint64(hdr[4:12])
+		plen := binary.LittleEndian.Uint32(hdr[12:16])
+		sum := binary.LittleEndian.Uint32(hdr[16:20])
+		if magic != recordMagic || plen > maxPayload ||
+			off+headerSize+int64(plen) > fileSize || version <= last {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+headerSize); err != nil {
+			break
+		}
+		h := crc32.NewIEEE()
+		h.Write(hdr[4:16])
+		h.Write(payload)
+		if h.Sum32() != sum {
+			break
+		}
+		s.idx = append(s.idx, indexEntry{version: version, off: off, plen: plen})
+		last = version
+		off += headerSize + int64(plen)
+	}
+	if off < fileSize {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating corrupted tail: %w", err)
+		}
+		if !s.opts.NoSync {
+			if err := s.f.Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	s.size = off
+	return nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append durably writes one record. version must be strictly greater
+// than the last stored version (the store never rewrites history). The
+// record is on disk (written and fsynced) when Append returns.
+func (s *Store) Append(version uint64, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: payload of %d bytes exceeds the %d-byte record bound", len(payload), maxPayload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	if last := s.lastVersionLocked(); version <= last {
+		return fmt.Errorf("store: version %d is not after the latest stored version %d", version, last)
+	}
+	rec := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], recordMagic)
+	binary.LittleEndian.PutUint64(rec[4:12], version)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(payload)))
+	copy(rec[headerSize:], payload)
+	h := crc32.NewIEEE()
+	h.Write(rec[4:16])
+	h.Write(payload)
+	binary.LittleEndian.PutUint32(rec[16:20], h.Sum32())
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.idx = append(s.idx, indexEntry{version: version, off: s.size, plen: uint32(len(payload))})
+	s.size += int64(len(rec))
+	if s.opts.Retain > 0 && len(s.idx) >= 2*s.opts.Retain {
+		// Best-effort: the record above is already durable, and a failed
+		// append would wedge the caller's version sequence (the store
+		// holds version N+1 but the caller thinks N is current, so every
+		// retry is rejected as non-monotonic). A compaction failure only
+		// delays retention — the log grows, appends keep working, the
+		// next Append or an explicit Compact retries, and Compact
+		// surfaces the error to callers who want it.
+		_ = s.compactLocked()
+	}
+	return nil
+}
+
+// Latest returns the newest record, or ErrEmpty.
+func (s *Store) Latest() (version uint64, payload []byte, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.idx) == 0 {
+		return 0, nil, ErrEmpty
+	}
+	e := s.idx[len(s.idx)-1]
+	payload, err = s.readLocked(e)
+	return e.version, payload, err
+}
+
+// At returns the record at the given version; versions that were never
+// stored or have been compacted away are an error.
+func (s *Store) At(version uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.idx {
+		if e.version == version {
+			return s.readLocked(e)
+		}
+	}
+	if len(s.idx) == 0 {
+		return nil, fmt.Errorf("store: version %d not found (store is empty)", version)
+	}
+	return nil, fmt.Errorf("store: version %d not retained (have %d..%d)",
+		version, s.idx[0].version, s.idx[len(s.idx)-1].version)
+}
+
+// readLocked reads and re-verifies one record's payload. Re-checking the
+// CRC on every read catches bytes that rotted after Open.
+func (s *Store) readLocked(e indexEntry) ([]byte, error) {
+	if s.f == nil {
+		return nil, errors.New("store: closed")
+	}
+	buf := make([]byte, headerSize+int64(e.plen))
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return nil, fmt.Errorf("store: reading version %d: %w", e.version, err)
+	}
+	h := crc32.NewIEEE()
+	h.Write(buf[4:16])
+	h.Write(buf[headerSize:])
+	if h.Sum32() != binary.LittleEndian.Uint32(buf[16:20]) {
+		return nil, fmt.Errorf("store: version %d failed its checksum", e.version)
+	}
+	return buf[headerSize:], nil
+}
+
+// Versions returns the retained versions in ascending order.
+func (s *Store) Versions() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, len(s.idx))
+	for i, e := range s.idx {
+		out[i] = e.version
+	}
+	return out
+}
+
+// LastVersion returns the newest stored version, 0 when empty.
+func (s *Store) LastVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastVersionLocked()
+}
+
+func (s *Store) lastVersionLocked() uint64 {
+	if len(s.idx) == 0 {
+		return 0
+	}
+	return s.idx[len(s.idx)-1].version
+}
+
+// Compact applies the retention policy now, rewriting the log to hold
+// only the newest Retain versions. A no-op when Retain is 0 or nothing
+// exceeds it.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked rewrites the retained suffix to a temp file and renames
+// it over the log. On any error the original log and index are kept.
+func (s *Store) compactLocked() error {
+	if s.opts.Retain <= 0 || len(s.idx) <= s.opts.Retain {
+		return nil
+	}
+	keep := s.idx[len(s.idx)-s.opts.Retain:]
+	logPath := filepath.Join(s.dir, logName)
+	tmpPath := logPath + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	newIdx := make([]indexEntry, 0, len(keep))
+	var off int64
+	var buf []byte
+	for _, e := range keep {
+		n := headerSize + int(e.plen)
+		if len(buf) < n {
+			buf = make([]byte, n)
+		}
+		if _, err := s.f.ReadAt(buf[:n], e.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+		if _, err := tmp.WriteAt(buf[:n], off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+		newIdx = append(newIdx, indexEntry{version: e.version, off: off, plen: e.plen})
+		off += int64(n)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+	}
+	if err := os.Rename(tmpPath, logPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	// The rename took effect: tmp is now the log. Swap handles.
+	s.f.Close()
+	s.f = tmp
+	s.idx = newIdx
+	s.size = off
+	if !s.opts.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState atomically replaces the named auxiliary state blob
+// (temp-file write + fsync + rename). name must be a simple identifier.
+func (s *Store) SaveState(name string, payload []byte) error {
+	if err := checkStateName(name); err != nil {
+		return err
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: state %q of %d bytes exceeds the %d-byte bound", name, len(payload), maxPayload)
+	}
+	rec := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], stateMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(payload))
+	copy(rec[12:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, name+".state")
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: %w", err)
+	}
+	if !s.opts.NoSync {
+		return syncDir(s.dir)
+	}
+	return nil
+}
+
+// LoadState reads the named auxiliary state blob. A missing, torn or
+// corrupt file reads as absent (ok=false, nil error): state blobs are
+// caches a consumer can always rebuild.
+func (s *Store) LoadState(name string) (payload []byte, ok bool, err error) {
+	if err := checkStateName(name); err != nil {
+		return nil, false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := os.ReadFile(filepath.Join(s.dir, name+".state"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	if len(b) < 12 || binary.LittleEndian.Uint32(b[0:4]) != stateMagic {
+		return nil, false, nil
+	}
+	plen := binary.LittleEndian.Uint32(b[4:8])
+	if int(plen) != len(b)-12 {
+		return nil, false, nil
+	}
+	if crc32.ChecksumIEEE(b[12:]) != binary.LittleEndian.Uint32(b[8:12]) {
+		return nil, false, nil
+	}
+	return b[12:], true, nil
+}
+
+func checkStateName(name string) error {
+	if name == "" {
+		return errors.New("store: empty state name")
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < 'A' || r > 'Z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			return fmt.Errorf("store: state name %q: use letters, digits, - and _", name)
+		}
+	}
+	return nil
+}
+
+// Close releases the log handle. Further operations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package iupdater
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,6 +16,17 @@ import (
 // stationary residual floor from the first observations after
 // construction or Reset. Implementations need not be safe for concurrent
 // use; the Monitor serializes all calls.
+//
+// A detector may additionally implement
+//
+//	Baseline() (mu, sigma float64, ok bool)
+//	SetBaseline(mu, sigma float64)
+//
+// (as the built-ins do) to make its calibrated floor portable across
+// process restarts: a Monitor attached to a Deployment with a durable
+// Store persists the floor and re-installs it on the next start, so a
+// restarted monitor resumes detection instead of re-running the
+// calibration window.
 type DriftDetector interface {
 	// Observe consumes one residual (dB) and reports whether drift is
 	// flagged at this observation.
@@ -207,6 +219,7 @@ type Monitor struct {
 	d       *Deployment
 	sampler ReferenceSampler
 	cfg     monitorConfig
+	bd      baselineDetector // cfg.detector's persistence hooks, nil if absent
 
 	mu         sync.Mutex
 	res        *drift.Residualizer
@@ -218,7 +231,38 @@ type Monitor struct {
 	closed     bool
 	stats      MonitorStats
 
+	// restored carries a persisted calibrated floor until the first
+	// Observe decides whether it still applies (same snapshot version).
+	restored      monitorState
+	restoredOK    bool
+	baselineSaved bool
+
 	wg sync.WaitGroup
+}
+
+// baselineDetector is the optional persistence interface of a
+// DriftDetector (see the DriftDetector docs).
+type baselineDetector interface {
+	Baseline() (mu, sigma float64, ok bool)
+	SetBaseline(mu, sigma float64)
+}
+
+// monitorState is the persisted form of a monitor: the cumulative
+// counters of MonitorStats plus the detector's calibrated floor and the
+// snapshot version it was calibrated against. Stored as JSON in the
+// deployment store's "monitor" state blob.
+type monitorState struct {
+	SnapshotVersion  uint64  `json:"snapshot_version"`
+	Queries          uint64  `json:"queries"`
+	Detections       uint64  `json:"detections"`
+	UpdatesTriggered uint64  `json:"updates_triggered"`
+	UpdatesCompleted uint64  `json:"updates_completed"`
+	UpdateErrors     uint64  `json:"update_errors"`
+	Suppressed       uint64  `json:"suppressed"`
+	LastError        string  `json:"last_error,omitempty"`
+	BaselineMu       float64 `json:"baseline_mu"`
+	BaselineSigma    float64 `json:"baseline_sigma"`
+	BaselineOK       bool    `json:"baseline_ok"`
 }
 
 // NewMonitor attaches a drift monitor to a deployment. sampler supplies
@@ -242,12 +286,63 @@ func NewMonitor(d *Deployment, sampler ReferenceSampler, opts ...MonitorOption) 
 	if cfg.cooldown < 0 {
 		cfg.cooldown = 0
 	}
-	return &Monitor{
+	m := &Monitor{
 		d:       d,
 		sampler: sampler,
 		cfg:     cfg,
 		scratch: make([]float64, d.geo.Links),
-	}, nil
+	}
+	m.bd, _ = cfg.detector.(baselineDetector)
+	if st := d.cfg.store; st != nil {
+		// A restarted monitor resumes its previous life: cumulative
+		// counters continue, and the calibrated floor is re-installed on
+		// the first Observe if the snapshot it was learned on is still
+		// the one being served. A missing or corrupt state blob simply
+		// starts fresh.
+		if blob, ok, err := st.st.LoadState("monitor"); err == nil && ok {
+			var ms monitorState
+			if json.Unmarshal(blob, &ms) == nil {
+				m.stats.Queries = ms.Queries
+				m.stats.Detections = ms.Detections
+				m.stats.UpdatesTriggered = ms.UpdatesTriggered
+				m.stats.UpdatesCompleted = ms.UpdatesCompleted
+				m.stats.UpdateErrors = ms.UpdateErrors
+				m.stats.Suppressed = ms.Suppressed
+				m.stats.LastError = ms.LastError
+				m.restored = ms
+				m.restoredOK = ms.BaselineOK && m.bd != nil
+			}
+		}
+	}
+	return m, nil
+}
+
+// saveStateLocked persists the monitor's counters and calibrated floor
+// to the deployment store, best-effort (a failed save only costs resume
+// fidelity, never a detection). m.mu must be held.
+func (m *Monitor) saveStateLocked() {
+	st := m.d.cfg.store
+	if st == nil {
+		return
+	}
+	ms := monitorState{
+		SnapshotVersion:  m.resVersion,
+		Queries:          m.stats.Queries,
+		Detections:       m.stats.Detections,
+		UpdatesTriggered: m.stats.UpdatesTriggered,
+		UpdatesCompleted: m.stats.UpdatesCompleted,
+		UpdateErrors:     m.stats.UpdateErrors,
+		Suppressed:       m.stats.Suppressed,
+		LastError:        m.stats.LastError,
+	}
+	if m.bd != nil {
+		ms.BaselineMu, ms.BaselineSigma, ms.BaselineOK = m.bd.Baseline()
+	}
+	blob, err := json.Marshal(ms)
+	if err != nil {
+		return
+	}
+	_ = st.st.SaveState("monitor", blob)
 }
 
 // Observe feeds one live online RSS vector (one reading per link) to the
@@ -269,6 +364,18 @@ func (m *Monitor) Observe(rss []float64) error {
 		m.res = drift.NewResidualizer(fp.rows, fp.cols, fp.At)
 		m.resVersion = snap.version
 		m.cfg.detector.Reset()
+		if m.restoredOK && m.restored.SnapshotVersion == snap.version {
+			// Restart resume: the persisted floor was calibrated against
+			// this very snapshot, so re-install it instead of burning a
+			// fresh calibration window. A version mismatch (the database
+			// changed while the monitor was down) falls through to
+			// normal re-calibration.
+			m.bd.SetBaseline(m.restored.BaselineMu, m.restored.BaselineSigma)
+			m.baselineSaved = true
+		} else {
+			m.baselineSaved = false
+		}
+		m.restoredOK = false
 		m.consec = 0
 	}
 	if len(rss) != m.res.Links() {
@@ -286,6 +393,18 @@ func (m *Monitor) Observe(rss []float64) error {
 		m.consec = 0
 	}
 	m.stats.Score = m.cfg.detector.Score()
+	// Persist the floor the moment calibration completes — a one-time
+	// write per snapshot version, in the same "not the steady state"
+	// class as the residualizer rebuild above. Steady-state Observe
+	// never touches disk; the counters checkpoint on update completion,
+	// Sync and Close, so a hard kill costs at most the stats delta since
+	// then, never the calibrated floor.
+	if !m.baselineSaved && m.bd != nil {
+		if _, _, ok := m.bd.Baseline(); ok {
+			m.baselineSaved = true
+			m.saveStateLocked()
+		}
+	}
 	if m.consec < m.cfg.hysteresis {
 		return nil
 	}
@@ -344,9 +463,12 @@ func (m *Monitor) performUpdate() error {
 	return err
 }
 
-// finishUpdateLocked records the update outcome. m.mu must be held.
+// finishUpdateLocked records the update outcome and checkpoints the
+// counters (an auto-update is the rarest, most valuable transition to
+// survive a crash). m.mu must be held.
 func (m *Monitor) finishUpdateLocked(err error) {
 	m.updating = false
+	defer m.saveStateLocked()
 	if err != nil {
 		m.stats.UpdateErrors++
 		m.stats.LastError = err.Error()
@@ -355,6 +477,16 @@ func (m *Monitor) finishUpdateLocked(err error) {
 	m.stats.UpdatesCompleted++
 	// The published snapshot re-baselines the residual on the next
 	// Observe (version check); nothing else to do here.
+}
+
+// Sync persists the monitor's counters and calibrated floor to the
+// deployment's store now (a no-op without one). Close does this
+// automatically; long-running servers may also call it on a checkpoint
+// schedule of their own.
+func (m *Monitor) Sync() {
+	m.mu.Lock()
+	m.saveStateLocked()
+	m.mu.Unlock()
 }
 
 // Stats returns a consistent snapshot of the monitor's counters.
@@ -371,9 +503,14 @@ func (m *Monitor) Stats() MonitorStats {
 // Close stops the monitor — subsequent Observe calls fail — and waits
 // for any in-flight asynchronous update to finish, so callers can shut
 // down knowing no reconstruction is still writing to the deployment.
+// With a durable store attached, the final counters and calibrated
+// floor are persisted so the next process's monitor resumes here.
 func (m *Monitor) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.mu.Lock()
+	m.saveStateLocked()
+	m.mu.Unlock()
 }

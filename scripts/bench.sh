@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# Benchmark smoke for the reconstruction and monitoring hot paths.
+# Benchmark smoke for the reconstruction, monitoring and persistence hot
+# paths.
 #
 # Runs the two reconstruction benchmarks that gate solver performance
-# (Fig 16 constraint ablation and the initialization ablation) plus the
-# drift-monitor observe benchmark (budget: <= 2 allocs per observed
-# query, measured 0) with -benchmem, prints the result, and appends one
-# JSON line per benchmark to BENCH_recon.json so successive PRs leave a
-# comparable trajectory:
+# (Fig 16 constraint ablation and the initialization ablation), the
+# drift-monitor observe benchmark, and the snapshot-store append+load
+# benchmark with -benchmem, prints the result, and appends one JSON line
+# per benchmark to BENCH_recon.json so successive PRs leave a comparable
+# trajectory:
 #
 #	./scripts/bench.sh              # 1 iteration (smoke)
 #	BENCHTIME=3x ./scripts/bench.sh # more stable timings
 #
 # Extra arguments are passed to `go test` (e.g. -cpu 1,4).
+#
+# The run FAILS (non-zero exit) when any benchmark's allocs/op regresses
+# past its documented budget:
+#
+#	Fig16ConstraintAblation  <= 100000  (PR-2 kernel layer: ~16k measured;
+#	                                     the pre-kernel baseline was 1.94M)
+#	AblationInitialization   <=  20000  (~3.3k measured)
+#	MonitorObserve           <=      2  (0 measured; also enforced by
+#	                                     TestMonitorObserveAllocBudget)
+#	StoreAppendLoad          <=     12  (2 measured: one record buffer,
+#	                                     one payload read buffer)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve' \
-	-benchtime "$benchtime" -benchmem "$@")"
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad' \
+	-benchtime "$benchtime" -benchmem "$@" . ./internal/store)"
 echo "$out"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -35,3 +47,37 @@ echo "$out" | awk -v commit="$commit" -v stamp="$stamp" '
 		stamp, commit, name, ns, bytes, allocs)
 }' >>BENCH_recon.json
 echo "appended results to BENCH_recon.json"
+
+# Allocation-budget gate: a regression past a documented budget fails
+# the smoke loudly instead of only leaving a worse trajectory line.
+echo "$out" | awk '
+BEGIN {
+	budget["BenchmarkFig16ConstraintAblation"] = 100000
+	budget["BenchmarkAblationInitialization"] = 20000
+	budget["BenchmarkMonitorObserve"] = 2
+	budget["BenchmarkStoreAppendLoad"] = 12
+	failures = 0
+}
+/^Benchmark/ {
+	name = $1; allocs = -1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+	if (name in budget) {
+		seen[name] = 1
+		if (allocs < 0) {
+			printf("FAIL: %s reported no allocs/op (ran without -benchmem?)\n", name)
+			failures++
+		} else if (allocs + 0 > budget[name]) {
+			printf("FAIL: %s allocs/op %d exceeds the documented budget %d\n", name, allocs, budget[name])
+			failures++
+		}
+	}
+}
+END {
+	for (name in budget) if (!(name in seen)) {
+		printf("FAIL: budgeted benchmark %s did not run\n", name)
+		failures++
+	}
+	if (failures > 0) exit 1
+	print "allocation budgets OK"
+}'

@@ -1,0 +1,188 @@
+package iupdater
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"iupdater/internal/store"
+)
+
+// StoreOption configures a Store opened with OpenStore.
+type StoreOption func(*storeConfig)
+
+type storeConfig struct {
+	retain int
+	noSync bool
+}
+
+// WithRetention keeps only the newest n snapshot versions on disk
+// (default 0: keep every version forever). Older versions are removed by
+// compaction — triggered automatically as the log grows and on demand
+// via Store.Compact — and stop being available to Rollback.
+func WithRetention(n int) StoreOption {
+	return func(c *storeConfig) { c.retain = n }
+}
+
+// WithoutSync skips the fsync after each write. Only for tests and
+// benchmarks; production stores must keep the default, which makes every
+// published snapshot durable before it becomes visible.
+func WithoutSync() StoreOption {
+	return func(c *storeConfig) { c.noSync = true }
+}
+
+// Store is a durable, versioned snapshot store: one directory holding an
+// append-only checksummed record log of every snapshot a Deployment
+// publishes, plus small auxiliary state (the drift monitor's calibrated
+// baseline). Attach one to a new Deployment with WithStore, or warm-start
+// a Deployment from an existing directory with OpenDeployment.
+//
+// Durability model: a snapshot is written and fsynced before the
+// Deployment swaps it in, so a version that was ever visible to queries
+// is on disk. A crash mid-append leaves at most one torn tail record,
+// which the next OpenStore truncates back to the last good record — the
+// store recovers to the newest durable version instead of failing open.
+// See the internal/store package documentation for the record format.
+//
+// All methods are safe for concurrent use. A Store must be attached to
+// at most one live Deployment at a time (two writers would race on the
+// version sequence; the loser's append fails).
+type Store struct {
+	st *store.Store
+}
+
+// OpenStore opens (creating if needed) a snapshot store directory and
+// recovers its record index, truncating any corrupted suffix.
+func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
+	var cfg storeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	st, err := store.Open(dir, store.Options{Retain: cfg.retain, NoSync: cfg.noSync})
+	if err != nil {
+		return nil, fmt.Errorf("iupdater: %w", err)
+	}
+	return &Store{st: st}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.st.Dir() }
+
+// Versions returns the retained snapshot versions in ascending order.
+func (s *Store) Versions() []uint64 { return s.st.Versions() }
+
+// LatestVersion returns the newest stored version, 0 when the store is
+// empty.
+func (s *Store) LatestVersion() uint64 { return s.st.LastVersion() }
+
+// SnapshotAt reads the stored snapshot at the given version: the
+// fingerprint matrix and the geometry it was published under.
+func (s *Store) SnapshotAt(version uint64) (Matrix, Geometry, error) {
+	payload, err := s.st.At(version)
+	if err != nil {
+		return Matrix{}, Geometry{}, fmt.Errorf("iupdater: %w", err)
+	}
+	fp, g, err := decodeSnapshot(payload)
+	if err != nil {
+		return Matrix{}, Geometry{}, fmt.Errorf("iupdater: snapshot v%d: %w", version, err)
+	}
+	return fp, g, nil
+}
+
+// Compact applies the retention policy now (see WithRetention).
+func (s *Store) Compact() error {
+	if err := s.st.Compact(); err != nil {
+		return fmt.Errorf("iupdater: %w", err)
+	}
+	return nil
+}
+
+// Close releases the store. The owning Deployment must not publish
+// afterwards.
+func (s *Store) Close() error {
+	if err := s.st.Close(); err != nil {
+		return fmt.Errorf("iupdater: %w", err)
+	}
+	return nil
+}
+
+// appendSnapshot persists one published snapshot.
+func (s *Store) appendSnapshot(version uint64, g Geometry, fp Matrix) error {
+	if err := s.st.Append(version, encodeSnapshot(g, fp)); err != nil {
+		return fmt.Errorf("iupdater: persisting snapshot v%d: %w", version, err)
+	}
+	return nil
+}
+
+// latestSnapshot loads the newest stored snapshot.
+func (s *Store) latestSnapshot() (version uint64, fp Matrix, g Geometry, err error) {
+	version, payload, err := s.st.Latest()
+	if err != nil {
+		if errors.Is(err, store.ErrEmpty) {
+			return 0, Matrix{}, Geometry{}, errors.New("iupdater: store holds no snapshots (create the deployment with NewDeployment and WithStore first)")
+		}
+		return 0, Matrix{}, Geometry{}, fmt.Errorf("iupdater: %w", err)
+	}
+	fp, g, err = decodeSnapshot(payload)
+	if err != nil {
+		return 0, Matrix{}, Geometry{}, fmt.Errorf("iupdater: snapshot v%d: %w", version, err)
+	}
+	return version, fp, g, nil
+}
+
+// Snapshot payload format v1 (all little-endian):
+//
+//	offset  size       field
+//	0       1          format version (1)
+//	1       8          geometry WidthM (float64 bits)
+//	9       8          geometry HeightM (float64 bits)
+//	17      4          geometry Links (uint32)
+//	21      4          geometry PerStrip (uint32)
+//	25      4          matrix rows (uint32)
+//	29      4          matrix cols (uint32)
+//	33      rows*cols*8  fingerprints, column-major float64 bits
+const snapshotFormatV1 = 1
+
+func encodeSnapshot(g Geometry, fp Matrix) []byte {
+	buf := make([]byte, 33+len(fp.data)*8)
+	buf[0] = snapshotFormatV1
+	binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(g.WidthM))
+	binary.LittleEndian.PutUint64(buf[9:], math.Float64bits(g.HeightM))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(g.Links))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(g.PerStrip))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(fp.rows))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(fp.cols))
+	for i, v := range fp.data {
+		binary.LittleEndian.PutUint64(buf[33+i*8:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeSnapshot(b []byte) (Matrix, Geometry, error) {
+	if len(b) < 33 {
+		return Matrix{}, Geometry{}, fmt.Errorf("payload of %d bytes is too short", len(b))
+	}
+	if b[0] != snapshotFormatV1 {
+		return Matrix{}, Geometry{}, fmt.Errorf("unknown snapshot format %d", b[0])
+	}
+	g := Geometry{
+		WidthM:   math.Float64frombits(binary.LittleEndian.Uint64(b[1:])),
+		HeightM:  math.Float64frombits(binary.LittleEndian.Uint64(b[9:])),
+		Links:    int(binary.LittleEndian.Uint32(b[17:])),
+		PerStrip: int(binary.LittleEndian.Uint32(b[21:])),
+	}
+	rows := int(binary.LittleEndian.Uint32(b[25:]))
+	cols := int(binary.LittleEndian.Uint32(b[29:]))
+	if rows <= 0 || cols <= 0 || rows != g.Links || cols != g.NumCells() {
+		return Matrix{}, Geometry{}, fmt.Errorf("matrix %dx%d inconsistent with geometry %+v", rows, cols, g)
+	}
+	if want := 33 + rows*cols*8; len(b) != want {
+		return Matrix{}, Geometry{}, fmt.Errorf("payload is %d bytes, want %d for %dx%d", len(b), want, rows, cols)
+	}
+	m := Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[33+i*8:]))
+	}
+	return m, g, nil
+}
