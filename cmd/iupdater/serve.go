@@ -317,11 +317,22 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, updateResponse{Version: snap.Version(), References: refs})
 }
 
+// recordJSON mirrors iupdater.RecordInfo over the wire: how one stored
+// version sits on disk (full snapshot or changed-columns delta).
+type recordJSON struct {
+	Version uint64 `json:"version"`
+	Kind    string `json:"kind"`
+	Bytes   int64  `json:"bytes"`
+}
+
 type snapshotResponse struct {
 	Version      uint64      `json:"version"`
 	Links        int         `json:"links"`
 	Cells        int         `json:"cells"`
 	Fingerprints [][]float64 `json:"fingerprints"`
+	// Record describes the serving version's on-disk record, absent for
+	// in-memory sites.
+	Record *recordJSON `json:"record,omitempty"`
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -331,12 +342,21 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := st.d.Snapshot()
 	fp := snap.Fingerprints()
-	writeJSON(w, http.StatusOK, snapshotResponse{
+	resp := snapshotResponse{
 		Version:      snap.Version(),
 		Links:        fp.Rows(),
 		Cells:        fp.Cols(),
 		Fingerprints: fp.ToRows(),
-	})
+	}
+	if store := st.d.Store(); store != nil {
+		for _, rec := range store.Records() {
+			if rec.Version == snap.Version() {
+				resp.Record = &recordJSON{Version: rec.Version, Kind: rec.Kind, Bytes: rec.Bytes}
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // driftResponse mirrors iupdater.MonitorStats over the wire.
@@ -423,6 +443,7 @@ type siteSummaryJSON struct {
 	Cells          int            `json:"cells"`
 	Durable        bool           `json:"durable"`
 	StoredVersions []uint64       `json:"stored_versions,omitempty"`
+	StoredRecords  []recordJSON   `json:"stored_records,omitempty"`
 	Drift          *driftResponse `json:"drift,omitempty"`
 }
 
@@ -434,6 +455,9 @@ func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
 		Cells:          sum.Cells,
 		Durable:        sum.Durable,
 		StoredVersions: sum.StoredVersions,
+	}
+	for _, rec := range sum.StoredRecords {
+		out.StoredRecords = append(out.StoredRecords, recordJSON{Version: rec.Version, Kind: rec.Kind, Bytes: rec.Bytes})
 	}
 	if sum.Drift != nil {
 		dr := driftJSON(*sum.Drift)

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -546,5 +548,117 @@ func TestParseSiteSpecsRejectsUnsafeNames(t *testing.T) {
 		if _, err := parseSiteSpecs(bad, "office"); err == nil {
 			t.Errorf("unsafe -sites spec %q accepted", bad)
 		}
+	}
+}
+
+// TestServeRollbackCompactedVersionIsClientError: rolling back to a
+// version the store has compacted away is the client's mistake, so the
+// route must answer with a 4xx carrying the store's "not retained"
+// message — never a 500.
+func TestServeRollbackCompactedVersionIsClientError(t *testing.T) {
+	s := newServer(0)
+	st, _, err := buildSite(siteSpec{name: "default", env: "office"}, 9, t.TempDir(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.addSite(st); err != nil {
+		t.Fatal(err)
+	}
+	defer s.fleet.Close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Three updates publish v2..v4; with -retain 2 the store compacts
+	// down to [3 4], so v1 leaves the rollback window.
+	for days := 10; days <= 30; days += 10 {
+		if code := postJSON(t, ts.URL+"/update", updateRequest{Days: float64(days)}, nil); code != http.StatusOK {
+			t.Fatalf("update(%dd) status %d", days, code)
+		}
+	}
+	var sum siteSummaryJSON
+	if code := getJSON(t, ts.URL+"/sites/default", &sum); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if len(sum.StoredVersions) == 0 || sum.StoredVersions[0] == 1 {
+		t.Fatalf("stored versions %v: v1 was not compacted away", sum.StoredVersions)
+	}
+
+	resp, err := http.Post(ts.URL+"/rollback?version=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+		t.Fatalf("rollback to compacted version: status %d, want a 4xx", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "not retained") {
+		t.Errorf("error %q does not carry the store's \"not retained\" message", body["error"])
+	}
+	// A retained version still rolls back fine.
+	var rb rollbackResponse
+	if code := postJSON(t, ts.URL+"/rollback?version="+strconv.FormatUint(sum.StoredVersions[0], 10), nil, &rb); code != http.StatusOK {
+		t.Fatalf("rollback to retained version: status %d", code)
+	}
+	if rb.RestoredVersion != sum.StoredVersions[0] {
+		t.Errorf("rollback response %+v", rb)
+	}
+}
+
+// TestServeSnapshotAndSummaryExposeRecords: durable sites report each
+// stored version's record kind and on-disk bytes through the summary,
+// and the serving version's record through the snapshot route.
+func TestServeSnapshotAndSummaryExposeRecords(t *testing.T) {
+	s := newServer(0)
+	st, _, err := buildSite(siteSpec{name: "default", env: "office"}, 11, t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.addSite(st); err != nil {
+		t.Fatal(err)
+	}
+	defer s.fleet.Close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if code := postJSON(t, ts.URL+"/update", updateRequest{Days: 15}, nil); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	var sum siteSummaryJSON
+	if code := getJSON(t, ts.URL+"/sites/default", &sum); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if len(sum.StoredRecords) != len(sum.StoredVersions) || len(sum.StoredRecords) != 2 {
+		t.Fatalf("stored records %+v vs versions %v", sum.StoredRecords, sum.StoredVersions)
+	}
+	for i, rec := range sum.StoredRecords {
+		if rec.Version != sum.StoredVersions[i] || rec.Bytes <= 0 || (rec.Kind != "full" && rec.Kind != "delta") {
+			t.Errorf("stored record %+v", rec)
+		}
+	}
+	var snap snapshotResponse
+	if code := getJSON(t, ts.URL+"/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	if snap.Record == nil || snap.Record.Version != snap.Version || snap.Record.Bytes <= 0 {
+		t.Fatalf("snapshot record %+v, want the serving version's on-disk record", snap.Record)
+	}
+
+	// In-memory sites have no records to report.
+	s2 := newServer(0)
+	if err := s2.addSite(newOfficeSite(t, "default", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.handler())
+	defer ts2.Close()
+	var memSnap snapshotResponse
+	if code := getJSON(t, ts2.URL+"/snapshot", &memSnap); code != http.StatusOK {
+		t.Fatalf("in-memory snapshot status %d", code)
+	}
+	if memSnap.Record != nil {
+		t.Errorf("in-memory snapshot reports a record: %+v", memSnap.Record)
 	}
 }

@@ -105,6 +105,11 @@ func WithUpdateConcurrency(n int) Option {
 // so a process restart warm-starts from the latest version with
 // OpenDeployment instead of re-surveying. Persistence happens on the
 // serialized write path; the lock-free query path never touches disk.
+// On that write path the outgoing snapshot is diffed against the last
+// persisted one, and a publish that changed only a few fingerprint
+// columns is persisted as a small delta record instead of a full
+// re-serialization (see Store and WithMaxChain) — the fsync-before-swap
+// durability contract is identical for both record kinds.
 //
 // If the store already holds snapshots (e.g. from a previous deployment
 // life), version numbering continues after the stored history instead of
@@ -499,8 +504,10 @@ func (d *Deployment) Refresh() error {
 }
 
 // publishLocked stamps the next version, persists it (durability before
-// visibility: a failed append publishes nothing), swaps the snapshot in
-// and notifies subscribers. d.mu must be held.
+// visibility: a failed append publishes nothing; the store decides
+// whether the diff against the previous version is worth a delta
+// record), swaps the snapshot in and notifies subscribers. d.mu must be
+// held.
 func (d *Deployment) publishLocked(fp Matrix) (*Snapshot, error) {
 	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid)
 	if d.cfg.store != nil {

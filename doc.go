@@ -107,12 +107,33 @@
 // Persistence runs on the serialized write path; the lock-free query
 // path never touches disk.
 //
-// The durability contract is the standard write-ahead one: record
-// appends are a single write + fsync, so a crash leaves at most one
-// torn tail record, which the next OpenStore detects (length/CRC) and
-// truncates, recovering to the newest durable version instead of
-// failing open; compaction and auxiliary state writes go through
-// temp-file + fsync + rename, so they are atomic against crashes.
+// Because the paper's premise is low-cost updating, durability is
+// priced by what actually changed: on the write path the outgoing
+// snapshot is diffed column-wise against the last persisted version,
+// and when few columns differ (a typical auto-update refreshes a
+// handful of reference columns) the publish is persisted as a delta
+// record — the changed column indices and payloads only, roughly an
+// order of magnitude smaller than a full snapshot on the office
+// geometry — rather than re-serializing the whole matrix. Reads
+// (SnapshotAt, warm starts, rollbacks) transparently materialize a
+// delta by resolving its chain back to the nearest full record and
+// replaying the deltas, so callers never see the encoding. Chains stay
+// bounded: WithMaxChain (default 16) forces a fresh full record once a
+// chain reaches the bound, a delta larger than half the full payload
+// is written as a full record instead, and compaction rebases a
+// retained suffix that would start mid-chain onto a fresh full record.
+// Store.Records (surfaced per site by Fleet Summaries and the serve
+// API) reports each retained version's record kind and on-disk bytes.
+//
+// The durability contract is the standard write-ahead one, identical
+// for both record kinds: record appends are a single write + fsync
+// before the snapshot swap, so a crash leaves at most one torn tail
+// record, which the next OpenStore detects (length/CRC) and truncates,
+// recovering to the newest durable version instead of failing open —
+// and since a delta is only valid over its predecessor, a truncated
+// base drops its dependent deltas with it; compaction and auxiliary
+// state writes go through temp-file + fsync + rename, so they are
+// atomic against crashes.
 // OpenDeployment warm-starts a Deployment from a store's latest record
 // — same version number, bit-identical localization, no re-survey —
 // and a Monitor constructed over a stored Deployment resumes its

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 )
 
@@ -21,8 +20,9 @@ import (
 // straight to the site's own Deployment/Monitor, so the fleet registry
 // is never on a query hot path.
 type Fleet struct {
-	mu    sync.RWMutex
-	sites map[string]*Site
+	mu     sync.RWMutex
+	sites  map[string]*Site
+	closed bool
 }
 
 // Site is one named deployment registered in a Fleet.
@@ -52,7 +52,11 @@ func (s *Site) Summary() SiteSummary {
 	}
 	if st := s.dep.Store(); st != nil {
 		sum.Durable = true
+		// Versions and Records both return freshly allocated slices, so
+		// the summary never aliases store internals — callers may keep
+		// or mutate it freely.
 		sum.StoredVersions = st.Versions()
+		sum.StoredRecords = st.Records()
 	}
 	if s.mon != nil {
 		stats := s.mon.Stats()
@@ -75,6 +79,10 @@ type SiteSummary struct {
 	// StoredVersions lists the store's retained versions (ascending),
 	// nil for in-memory sites. These are the versions Rollback accepts.
 	StoredVersions []uint64
+	// StoredRecords describes each retained version's on-disk record
+	// (full snapshot or delta, and its byte footprint), nil for
+	// in-memory sites.
+	StoredRecords []RecordInfo
 	// Drift carries the monitor counters, nil for unmonitored sites.
 	Drift *MonitorStats
 }
@@ -87,7 +95,8 @@ func NewFleet() *Fleet {
 // Add registers a site under a unique name (letters, digits, - and _;
 // it becomes a URL path segment in serve mode). mon may be nil for an
 // unmonitored site. The fleet takes over lifecycle: Close closes the
-// site's monitor and store.
+// site's monitor and store, and a closed fleet rejects further Adds —
+// a site registered after Close would never be closed.
 func (f *Fleet) Add(name string, d *Deployment, mon *Monitor) (*Site, error) {
 	if d == nil {
 		return nil, errors.New("iupdater: Fleet.Add: nil deployment")
@@ -97,6 +106,9 @@ func (f *Fleet) Add(name string, d *Deployment, mon *Monitor) (*Site, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errors.New("iupdater: Fleet.Add: fleet is closed")
+	}
 	if _, ok := f.sites[name]; ok {
 		return nil, fmt.Errorf("iupdater: site %q already registered", name)
 	}
@@ -157,30 +169,38 @@ func (f *Fleet) Summaries() []SiteSummary {
 }
 
 // Close shuts every site down: monitors first (waiting out in-flight
-// auto-updates, persisting their final state), then stores. Errors are
-// joined; the fleet keeps closing remaining sites after a failure.
+// auto-updates, persisting their final state), then stores. One site's
+// failure never stops the remaining sites from closing; the failures
+// are combined with errors.Join (each wrapped with its site name), so
+// callers can still reach the underlying values with errors.Is and
+// errors.As. A second Close is a no-op, and Add after Close fails.
 func (f *Fleet) Close() error {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
 	sites := make([]*Site, 0, len(f.sites))
 	for _, s := range f.sites {
 		sites = append(sites, s)
 	}
-	f.sites = make(map[string]*Site)
+	f.sites = nil
 	f.mu.Unlock()
 	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
-	var errs []string
+	var errs []error
 	for _, s := range sites {
 		if s.mon != nil {
 			s.mon.Close()
 		}
 		if st := s.dep.Store(); st != nil {
 			if err := st.Close(); err != nil {
-				errs = append(errs, fmt.Sprintf("%s: %v", s.name, err))
+				errs = append(errs, fmt.Errorf("site %s: %w", s.name, err))
 			}
 		}
 	}
 	if len(errs) > 0 {
-		return fmt.Errorf("iupdater: closing fleet: %s", strings.Join(errs, "; "))
+		return fmt.Errorf("iupdater: closing fleet: %w", errors.Join(errs...))
 	}
 	return nil
 }

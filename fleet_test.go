@@ -1,8 +1,10 @@
 package iupdater
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -87,6 +89,165 @@ func TestFleetRegistry(t *testing.T) {
 	}
 	if names := f.Names(); len(names) != 0 {
 		t.Errorf("sites survive Close: %v", names)
+	}
+}
+
+// TestFleetClosedLifecycle: Close is terminal — a second Close is a
+// no-op, and Add on a closed fleet fails instead of silently
+// registering a site whose monitor and store would never be closed.
+func TestFleetClosedLifecycle(t *testing.T) {
+	f := NewFleet()
+	tb := NewTestbed(Office(), 1)
+	d, _, err := tb.Deploy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("a", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("second Close: %v, want no-op nil", err)
+	}
+	if _, err := f.Add("b", d, nil); err == nil {
+		t.Error("Add on a closed fleet succeeded — the site's lifecycle would leak")
+	}
+	if names := f.Names(); len(names) != 0 {
+		t.Errorf("Names after Close: %v", names)
+	}
+	if sums := f.Summaries(); len(sums) != 0 {
+		t.Errorf("Summaries after Close: %v", sums)
+	}
+}
+
+var errInjectedClose = errors.New("injected store close failure")
+
+// TestFleetCloseContinuesPastFailingStore: one site's store failing to
+// close must neither stop the remaining sites from closing nor erase
+// the error value — callers must reach it with errors.Is through the
+// joined error.
+func TestFleetCloseContinuesPastFailingStore(t *testing.T) {
+	f := NewFleet()
+	stBad, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbBad := NewTestbed(Office(), 1)
+	dBad, _, err := tbBad.Deploy(0, 20, WithStore(stBad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBad.closeErr = errInjectedClose
+	stGood, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbGood := NewTestbed(Office(), 2)
+	dGood, _, err := tbGood.Deploy(0, 20, WithStore(stGood))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "bad" sorts before "good", so the failure hits first and the good
+	// site's close must still run after it.
+	if _, err := f.Add("bad", dBad, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("good", dGood, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = f.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the store failure")
+	}
+	if !errors.Is(err, errInjectedClose) {
+		t.Errorf("errors.Is cannot reach the store error through %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("close error %v does not name the failing site", err)
+	}
+	// The good site's store really was closed despite the earlier
+	// failure: a publish into it must now fail.
+	if _, err := dGood.Install(dGood.Snapshot().Fingerprints()); err == nil {
+		t.Error("good site's store still open after fleet Close")
+	}
+}
+
+// TestFleetSummariesRaceClose: the dashboard racing the lifecycle must
+// be -race-clean and never observe a half-closed registry.
+func TestFleetSummariesRaceClose(t *testing.T) {
+	f := NewFleet()
+	for i, name := range []string{"one", "two"} {
+		tb := NewTestbed(Office(), uint64(20+i))
+		d, _, err := tb.Deploy(0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Add(name, d, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sum := range f.Summaries() {
+				if sum.Name == "" {
+					t.Error("summary with empty name")
+					return
+				}
+			}
+			_ = f.Names()
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // let the reader spin up
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if sums := f.Summaries(); len(sums) != 0 {
+		t.Errorf("Summaries after Close: %+v", sums)
+	}
+}
+
+// TestSiteSummaryDoesNotAliasStoreState: mutating a returned summary
+// must never write through into the store's internal index.
+func TestSiteSummaryDoesNotAliasStoreState(t *testing.T) {
+	f := NewFleet()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(Office(), 3)
+	d, _, err := tb.Deploy(0, 20, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := f.Add("solo", d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum := site.Summary()
+	if len(sum.StoredVersions) != 1 || len(sum.StoredRecords) != 1 {
+		t.Fatalf("summary %+v, want 1 stored version/record", sum)
+	}
+	sum.StoredVersions[0] = 999
+	sum.StoredRecords[0].Version = 999
+	if v := st.Versions()[0]; v != 1 {
+		t.Errorf("store versions mutated through the summary: %d", v)
+	}
+	if r := st.Records()[0]; r.Version != 1 {
+		t.Errorf("store records mutated through the summary: %+v", r)
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 // must never panic, must always leave a usable (appendable) store, and
 // recovery must be idempotent — reopening the recovered log yields the
 // same versions. The seed corpus covers the interesting shapes: a valid
-// log, a torn tail, a flipped CRC, and garbage.
+// log, a torn tail, a flipped CRC, garbage, and — since delta records —
+// a full+delta chain plus mutations that orphan or corrupt the chain.
 func FuzzStoreOpen(f *testing.F) {
 	// Build a valid two-record log to seed from.
 	seedDir := f.TempDir()
@@ -41,6 +42,49 @@ func FuzzStoreOpen(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a log at all"))
 
+	// A full record anchoring a three-delta chain, and mutations of it:
+	// a flipped byte inside a mid-chain delta payload, a truncated
+	// chain tail, and the chain with its base cut off (orphan deltas).
+	chainDir := f.TempDir()
+	cs, err := Open(chainDir, Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	layout := Layout{HeaderLen: 7, ChunkSize: 24}
+	payload := bytes.Repeat([]byte{0x11}, layout.HeaderLen+12*layout.ChunkSize)
+	if _, err := cs.AppendDelta(1, payload, layout); err != nil {
+		f.Fatal(err)
+	}
+	var firstRecLen int64
+	for v := uint64(2); v <= 4; v++ {
+		if v == 2 {
+			firstRecLen = cs.size
+		}
+		payload = bytes.Clone(payload)
+		payload[layout.HeaderLen+int(v)*layout.ChunkSize] = byte(v)
+		kind, err := cs.AppendDelta(v, payload, layout)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if kind != KindDelta {
+			f.Fatalf("seed chain record v%d is %v, want delta", v, kind)
+		}
+	}
+	cs.Close()
+	chain, err := os.ReadFile(filepath.Join(chainDir, logName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chain)
+	midFlip := bytes.Clone(chain)
+	midFlip[firstRecLen+headerSize+deltaHeaderSize+3] ^= 0x04 // inside delta v2's payload
+	f.Add(midFlip)
+	f.Add(chain[:len(chain)-9])    // torn delta tail
+	f.Add(chain[firstRecLen:])     // orphan deltas: base record cut off
+	baseFlip := bytes.Clone(chain) // corrupt base under an intact chain
+	baseFlip[headerSize+1] ^= 0x80
+	f.Add(baseFlip)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
@@ -57,27 +101,41 @@ func FuzzStoreOpen(f *testing.F) {
 				t.Fatalf("versions not strictly increasing: %v", versions)
 			}
 		}
-		// Every surviving record must be readable and checksum-clean.
+		records := s.Records()
+		if len(records) > 0 && records[0].Kind != KindFull {
+			t.Fatalf("recovered log starts with a %v record", records[0].Kind)
+		}
+		// Every surviving record must materialize checksum-clean —
+		// delta chains included.
 		for _, v := range versions {
 			if _, err := s.At(v); err != nil {
 				t.Fatalf("At(%d) on recovered store: %v", v, err)
 			}
 		}
-		// The recovered store accepts appends.
+		// The recovered store accepts appends: a full record, then a
+		// delta-path append (which must materialize the recovered tail
+		// to diff against, whatever shape recovery left).
 		next := s.LastVersion() + 1
 		if err := s.Append(next, []byte("post-recovery record")); err != nil {
 			t.Fatalf("Append after recovery: %v", err)
 		}
+		dp := bytes.Repeat([]byte{0x33}, 160)
+		if _, err := s.AppendDelta(next+1, dp, Layout{HeaderLen: 0, ChunkSize: 16}); err != nil {
+			t.Fatalf("AppendDelta after recovery: %v", err)
+		}
+		if got, err := s.At(next + 1); err != nil || !bytes.Equal(got, dp) {
+			t.Fatalf("At(%d) after post-recovery delta append: %v", next+1, err)
+		}
 		s.Close()
 		// Idempotence: a second recovery sees exactly what the first
-		// left (plus the append).
+		// left (plus the two appends).
 		s2, err := Open(dir, Options{NoSync: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer s2.Close()
 		got := s2.Versions()
-		if len(got) != len(versions)+1 {
+		if len(got) != len(versions)+2 {
 			t.Fatalf("reopen changed the version set: %v then %v", versions, got)
 		}
 		for i, v := range versions {

@@ -6,24 +6,56 @@
 // The log file (snapshots.log) is a sequence of records:
 //
 //	offset  size  field
-//	0       4     magic "iUPS" (little-endian 0x53505569)
+//	0       4     magic: "iUPS" (full record, little-endian 0x53505569)
+//	              or "iUPD" (delta record, little-endian 0x44505569)
 //	4       8     version (uint64 LE, strictly increasing within the log)
 //	12      4     payload length (uint32 LE)
 //	16      4     CRC32 (IEEE) over bytes [4,16) + payload
-//	20      n     payload (opaque to the store)
+//	20      n     payload
 //
-// Append writes one record with a single write(2) followed by fsync, so
+// A full record's payload is the complete snapshot, opaque to the store.
+// A delta record's payload encodes only the chunks (columns, for the
+// fingerprint use) that changed versus the immediately preceding record:
+//
+//	offset  size       field
+//	0       8          base version (uint64 LE; must equal the
+//	                   preceding record's version)
+//	8       4          materialized payload length F (uint32 LE)
+//	12      4          header length H (uint32 LE)
+//	16      4          chunk size S (uint32 LE, > 0; F = H + k*S)
+//	20      4          changed chunk count C (uint32 LE)
+//	24      H          the new leading header bytes
+//	24+H    C*(4+S)    changed chunks, ascending: chunk index (uint32
+//	                   LE) followed by the chunk's S bytes
+//
+// At and Latest materialize a delta record by resolving its chain back
+// to the nearest full record and replaying the deltas in order; callers
+// always see the complete payload, whichever kind is on disk. Append
+// always writes a full record; AppendDelta diffs the new payload
+// against the previous record under a caller-supplied chunk Layout and
+// writes whichever kind is smaller — a delta is only written when the
+// chain stays within Options.MaxChain records of the base full record
+// and the delta is at most half the full payload, so chains stay short
+// and a bounded number of reads materializes any version.
+//
+// Appends write one record with a single write(2) followed by fsync, so
 // a crash leaves at most one torn record at the tail. Open scans the log
-// front to back, verifying magic, length bounds, CRC and version
-// monotonicity per record; the first record that fails any check ends
-// the scan and the file is truncated back to the last good record —
-// corruption (a torn tail, a flipped bit) costs the corrupted suffix,
-// never the store.
+// front to back, verifying magic, length bounds, CRC, version
+// monotonicity and — for delta records — the full structural invariants
+// (base version continuity, chunk bounds, exact length) per record; the
+// first record that fails any check ends the scan and the file is
+// truncated back to the last good record — corruption (a torn tail, a
+// flipped bit) costs the corrupted suffix, never the store. Because a
+// delta is only valid over its predecessor, truncating a chain's base
+// automatically drops the dependent deltas with it.
 //
 // Compaction (retention) rewrites the retained suffix of records to a
 // temp file in the same directory, fsyncs it, and atomically renames it
 // over the log, so readers of the directory never observe a partially
-// compacted log.
+// compacted log. When the retained suffix would start with a delta
+// record (its base about to be dropped), compaction rebases: the first
+// retained version is materialized and rewritten as a fresh full
+// record, and the deltas behind it continue to resolve against it.
 //
 // Small auxiliary state blobs (e.g. a drift monitor's calibrated
 // baseline) are stored next to the log as <name>.state files, each a
@@ -32,6 +64,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -42,18 +75,54 @@ import (
 )
 
 const (
-	recordMagic = 0x53505569 // "iUPS" little-endian
+	recordMagic = 0x53505569 // "iUPS" little-endian: full snapshot record
+	deltaMagic  = 0x44505569 // "iUPD" little-endian: changed-chunks delta record
 	stateMagic  = 0x54535569 // "iUST" little-endian
 	headerSize  = 20
+	// deltaHeaderSize is the fixed prefix of a delta payload: base
+	// version, materialized length, header length, chunk size, count.
+	deltaHeaderSize = 24
 	// maxPayload bounds a single record (1 GiB); a length field beyond it
 	// is treated as corruption rather than attempted as an allocation.
 	maxPayload = 1 << 30
+	// defaultMaxChain bounds how many delta records may follow a full
+	// record when Options.MaxChain is zero.
+	defaultMaxChain = 16
 
 	logName = "snapshots.log"
 )
 
 // ErrEmpty is returned by Latest on a store with no records.
 var ErrEmpty = errors.New("store: no snapshots")
+
+// Kind distinguishes how a record is encoded on disk. Either way, reads
+// return the complete materialized payload.
+type Kind uint8
+
+const (
+	// KindFull is a complete snapshot payload.
+	KindFull Kind = iota
+	// KindDelta encodes only the chunks changed versus the preceding
+	// record.
+	KindDelta
+)
+
+// String returns "full" or "delta".
+func (k Kind) String() string {
+	if k == KindDelta {
+		return "delta"
+	}
+	return "full"
+}
+
+// Layout tells AppendDelta how a payload tiles into diffable chunks: a
+// fixed HeaderLen-byte prefix followed by equal ChunkSize-byte chunks
+// (for fingerprint snapshots, one chunk per column). The layout must
+// tile the payload exactly.
+type Layout struct {
+	HeaderLen int
+	ChunkSize int
+}
 
 // Options configures a Store.
 type Options struct {
@@ -65,12 +134,29 @@ type Options struct {
 	// NoSync skips fsync after writes. Only for tests and benchmarks
 	// that measure the in-memory path; durability requires the default.
 	NoSync bool
+	// MaxChain bounds how many consecutive delta records AppendDelta
+	// may stack on one full record before forcing a full record (so
+	// materializing any version reads at most MaxChain+1 records).
+	// 0 selects the default (16); negative disables delta records —
+	// AppendDelta then always writes full records. Recovery accepts
+	// whatever chain lengths are already on disk regardless.
+	MaxChain int
 }
 
 type indexEntry struct {
 	version uint64
 	off     int64 // record start (header) offset in the log
 	plen    uint32
+	kind    Kind
+	mlen    uint32 // materialized payload length (== plen for full records)
+}
+
+// RecordInfo describes one retained record as it sits on disk.
+type RecordInfo struct {
+	Version uint64
+	Kind    Kind
+	// Bytes is the on-disk record size, the 20-byte header included.
+	Bytes int64
 }
 
 // Store is an open snapshot store directory. All methods are safe for
@@ -84,6 +170,11 @@ type Store struct {
 	f    *os.File
 	size int64
 	idx  []indexEntry
+	// last caches the newest record's materialized payload so
+	// AppendDelta can diff without re-reading the chain. nil after Open;
+	// populated lazily on the first delta-eligible append and kept
+	// current by every append.
+	last []byte
 }
 
 // Open opens (creating if needed) the store directory and recovers the
@@ -112,6 +203,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// maxChain resolves the configured delta chain bound.
+func (s *Store) maxChain() int {
+	switch {
+	case s.opts.MaxChain > 0:
+		return s.opts.MaxChain
+	case s.opts.MaxChain < 0:
+		return 0
+	default:
+		return defaultMaxChain
+	}
+}
+
 // recover scans the log, building the index from the longest valid
 // record prefix and truncating everything after it.
 func (s *Store) recover() error {
@@ -133,7 +236,7 @@ func (s *Store) recover() error {
 		version := binary.LittleEndian.Uint64(hdr[4:12])
 		plen := binary.LittleEndian.Uint32(hdr[12:16])
 		sum := binary.LittleEndian.Uint32(hdr[16:20])
-		if magic != recordMagic || plen > maxPayload ||
+		if (magic != recordMagic && magic != deltaMagic) || plen > maxPayload ||
 			off+headerSize+int64(plen) > fileSize || version <= last {
 			break
 		}
@@ -147,7 +250,21 @@ func (s *Store) recover() error {
 		if h.Sum32() != sum {
 			break
 		}
-		s.idx = append(s.idx, indexEntry{version: version, off: off, plen: plen})
+		kind, mlen := KindFull, plen
+		if magic == deltaMagic {
+			// A delta is only valid directly over the preceding record:
+			// structural damage — or a chain whose base was lost — ends
+			// the good prefix here.
+			if len(s.idx) == 0 {
+				break
+			}
+			prev := s.idx[len(s.idx)-1]
+			if !validDelta(payload, prev.version, prev.mlen) {
+				break
+			}
+			kind, mlen = KindDelta, prev.mlen
+		}
+		s.idx = append(s.idx, indexEntry{version: version, off: off, plen: plen, kind: kind, mlen: mlen})
 		last = version
 		off += headerSize + int64(plen)
 	}
@@ -165,33 +282,81 @@ func (s *Store) recover() error {
 	return nil
 }
 
+// validDelta checks every structural invariant of a delta payload
+// against its expected base: version continuity, exact length, chunk
+// tiling, and strictly ascending in-range chunk indices. A payload that
+// passes is guaranteed to materialize without bounds errors.
+func validDelta(payload []byte, baseVersion uint64, baseLen uint32) bool {
+	if len(payload) < deltaHeaderSize {
+		return false
+	}
+	base := binary.LittleEndian.Uint64(payload[0:8])
+	full := binary.LittleEndian.Uint32(payload[8:12])
+	hlen := binary.LittleEndian.Uint32(payload[12:16])
+	chunk := binary.LittleEndian.Uint32(payload[16:20])
+	count := binary.LittleEndian.Uint32(payload[20:24])
+	if base != baseVersion || full != baseLen || chunk == 0 || hlen > full {
+		return false
+	}
+	rest := full - hlen
+	if rest%chunk != 0 {
+		return false
+	}
+	nchunks := rest / chunk
+	if count > nchunks {
+		return false
+	}
+	entry := int64(4) + int64(chunk)
+	if int64(len(payload)) != deltaHeaderSize+int64(hlen)+int64(count)*entry {
+		return false
+	}
+	prev := int64(-1)
+	for c := int64(0); c < int64(count); c++ {
+		at := deltaHeaderSize + int64(hlen) + c*entry
+		k := int64(binary.LittleEndian.Uint32(payload[at:]))
+		if k <= prev || k >= int64(nchunks) {
+			return false
+		}
+		prev = k
+	}
+	return true
+}
+
+// applyDelta patches dst (the base's materialized payload, len == the
+// delta's full length) in place. The payload must have passed validDelta.
+func applyDelta(dst, payload []byte) {
+	hlen := int(binary.LittleEndian.Uint32(payload[12:16]))
+	chunk := int(binary.LittleEndian.Uint32(payload[16:20]))
+	count := int(binary.LittleEndian.Uint32(payload[20:24]))
+	copy(dst[:hlen], payload[deltaHeaderSize:deltaHeaderSize+hlen])
+	p := deltaHeaderSize + hlen
+	for c := 0; c < count; c++ {
+		k := int(binary.LittleEndian.Uint32(payload[p:]))
+		copy(dst[hlen+k*chunk:hlen+(k+1)*chunk], payload[p+4:p+4+chunk])
+		p += 4 + chunk
+	}
+}
+
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Append durably writes one record. version must be strictly greater
-// than the last stored version (the store never rewrites history). The
-// record is on disk (written and fsynced) when Append returns.
-func (s *Store) Append(version uint64, payload []byte) error {
-	if len(payload) > maxPayload {
-		return fmt.Errorf("store: payload of %d bytes exceeds the %d-byte record bound", len(payload), maxPayload)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
-		return errors.New("store: closed")
-	}
-	if last := s.lastVersionLocked(); version <= last {
-		return fmt.Errorf("store: version %d is not after the latest stored version %d", version, last)
-	}
+// frameRecord builds one complete on-disk record: header, payload, CRC.
+func frameRecord(magic uint32, version uint64, payload []byte) []byte {
 	rec := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(rec[0:4], magic)
 	binary.LittleEndian.PutUint64(rec[4:12], version)
 	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(payload)))
 	copy(rec[headerSize:], payload)
 	h := crc32.NewIEEE()
 	h.Write(rec[4:16])
-	h.Write(payload)
+	h.Write(rec[headerSize:])
 	binary.LittleEndian.PutUint32(rec[16:20], h.Sum32())
+	return rec
+}
+
+// writeRecordLocked durably appends one framed record and indexes it.
+// e.off is filled in here. s.mu must be held.
+func (s *Store) writeRecordLocked(rec []byte, e indexEntry) error {
 	if _, err := s.f.WriteAt(rec, s.size); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -200,41 +365,196 @@ func (s *Store) Append(version uint64, payload []byte) error {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
-	s.idx = append(s.idx, indexEntry{version: version, off: s.size, plen: uint32(len(payload))})
+	e.off = s.size
+	s.idx = append(s.idx, e)
 	s.size += int64(len(rec))
-	if s.opts.Retain > 0 && len(s.idx) >= 2*s.opts.Retain {
-		// Best-effort: the record above is already durable, and a failed
-		// append would wedge the caller's version sequence (the store
-		// holds version N+1 but the caller thinks N is current, so every
-		// retry is rejected as non-monotonic). A compaction failure only
-		// delays retention — the log grows, appends keep working, the
-		// next Append or an explicit Compact retries, and Compact
-		// surfaces the error to callers who want it.
-		_ = s.compactLocked()
+	return nil
+}
+
+// appendChecksLocked validates the common append preconditions.
+func (s *Store) appendChecksLocked(version uint64) error {
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	if last := s.lastVersionLocked(); version <= last {
+		return fmt.Errorf("store: version %d is not after the latest stored version %d", version, last)
 	}
 	return nil
 }
 
-// Latest returns the newest record, or ErrEmpty.
+// Append durably writes one full record. version must be strictly
+// greater than the last stored version (the store never rewrites
+// history). The record is on disk (written and fsynced) when Append
+// returns.
+func (s *Store) Append(version uint64, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: payload of %d bytes exceeds the %d-byte record bound", len(payload), maxPayload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendChecksLocked(version); err != nil {
+		return err
+	}
+	err := s.writeRecordLocked(frameRecord(recordMagic, version, payload),
+		indexEntry{version: version, plen: uint32(len(payload)), kind: KindFull, mlen: uint32(len(payload))})
+	if err != nil {
+		return err
+	}
+	s.cacheLastLocked(payload)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// cacheLastLocked keeps s.last current with the newest appended payload
+// so the next AppendDelta can diff in memory. With delta records
+// disabled the cache would never be read, so skip the copy (and avoid
+// pinning a payload-sized buffer for the store's lifetime).
+func (s *Store) cacheLastLocked(payload []byte) {
+	if s.maxChain() > 0 {
+		s.last = append(s.last[:0], payload...)
+	}
+}
+
+// AppendDelta durably writes the payload as a delta record against the
+// previous retained version when that is cheaper, and as a full record
+// otherwise: on the first record, when delta records are disabled, when
+// the chain behind the tail has reached MaxChain, when the previous
+// payload has a different length (so the layout cannot line up), or
+// when the encoded delta would exceed half the full payload. Either
+// way the caller's payload is what later reads return; the returned
+// Kind reports what hit the disk.
+func (s *Store) AppendDelta(version uint64, payload []byte, layout Layout) (Kind, error) {
+	if len(payload) > maxPayload {
+		return KindFull, fmt.Errorf("store: payload of %d bytes exceeds the %d-byte record bound", len(payload), maxPayload)
+	}
+	if layout.ChunkSize <= 0 || layout.HeaderLen < 0 || layout.HeaderLen > len(payload) ||
+		(len(payload)-layout.HeaderLen)%layout.ChunkSize != 0 {
+		return KindFull, fmt.Errorf("store: layout %+v does not tile a %d-byte payload", layout, len(payload))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendChecksLocked(version); err != nil {
+		return KindFull, err
+	}
+	kind := KindFull
+	rec := s.encodeDeltaLocked(version, payload, layout)
+	if rec != nil {
+		kind = KindDelta
+	} else {
+		rec = frameRecord(recordMagic, version, payload)
+	}
+	err := s.writeRecordLocked(rec, indexEntry{
+		version: version,
+		plen:    uint32(len(rec) - headerSize),
+		kind:    kind,
+		mlen:    uint32(len(payload)),
+	})
+	if err != nil {
+		return KindFull, err
+	}
+	s.cacheLastLocked(payload)
+	s.maybeCompactLocked()
+	return kind, nil
+}
+
+// encodeDeltaLocked diffs payload against the newest record and returns
+// a framed delta record, or nil when a full record must be written
+// instead (no predecessor, deltas disabled, chain at its bound, length
+// mismatch, stale cache unrecoverable, or the delta too large).
+func (s *Store) encodeDeltaLocked(version uint64, payload []byte, layout Layout) []byte {
+	max := s.maxChain()
+	if max <= 0 || len(s.idx) == 0 {
+		return nil
+	}
+	chain := 0
+	for i := len(s.idx) - 1; i >= 0 && s.idx[i].kind == KindDelta; i-- {
+		chain++
+	}
+	if chain >= max {
+		return nil
+	}
+	if s.last == nil {
+		// First delta-eligible append of this store life: materialize
+		// the predecessor once. If its bytes have rotted since Open, a
+		// full record keeps the append safe.
+		prev, err := s.readChainLocked(len(s.idx) - 1)
+		if err != nil {
+			return nil
+		}
+		s.last = prev
+	}
+	if len(s.last) != len(payload) {
+		return nil
+	}
+	hlen, chunk := layout.HeaderLen, layout.ChunkSize
+	nchunks := (len(payload) - hlen) / chunk
+	changed := make([]int, 0, nchunks)
+	for k := 0; k < nchunks; k++ {
+		if !bytes.Equal(payload[hlen+k*chunk:hlen+(k+1)*chunk], s.last[hlen+k*chunk:hlen+(k+1)*chunk]) {
+			changed = append(changed, k)
+		}
+	}
+	deltaLen := deltaHeaderSize + hlen + len(changed)*(4+chunk)
+	if 2*deltaLen > len(payload) {
+		return nil
+	}
+	rec := make([]byte, headerSize+deltaLen)
+	buf := rec[headerSize:]
+	binary.LittleEndian.PutUint64(buf[0:8], s.idx[len(s.idx)-1].version)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(hlen))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(chunk))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(len(changed)))
+	copy(buf[deltaHeaderSize:], payload[:hlen])
+	p := deltaHeaderSize + hlen
+	for _, k := range changed {
+		binary.LittleEndian.PutUint32(buf[p:], uint32(k))
+		copy(buf[p+4:], payload[hlen+k*chunk:hlen+(k+1)*chunk])
+		p += 4 + chunk
+	}
+	binary.LittleEndian.PutUint32(rec[0:4], deltaMagic)
+	binary.LittleEndian.PutUint64(rec[4:12], version)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(deltaLen))
+	h := crc32.NewIEEE()
+	h.Write(rec[4:16])
+	h.Write(buf)
+	binary.LittleEndian.PutUint32(rec[16:20], h.Sum32())
+	return rec
+}
+
+// maybeCompactLocked runs the auto-triggered retention compaction.
+func (s *Store) maybeCompactLocked() {
+	if s.opts.Retain > 0 && len(s.idx) >= 2*s.opts.Retain {
+		// Best-effort: the record just written is already durable, and a
+		// failed append would wedge the caller's version sequence (the
+		// store holds version N+1 but the caller thinks N is current, so
+		// every retry is rejected as non-monotonic). A compaction failure
+		// only delays retention — the log grows, appends keep working,
+		// the next append or an explicit Compact retries, and Compact
+		// surfaces the error to callers who want it.
+		_ = s.compactLocked()
+	}
+}
+
+// Latest returns the newest record's materialized payload, or ErrEmpty.
 func (s *Store) Latest() (version uint64, payload []byte, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(s.idx) == 0 {
 		return 0, nil, ErrEmpty
 	}
-	e := s.idx[len(s.idx)-1]
-	payload, err = s.readLocked(e)
-	return e.version, payload, err
+	payload, err = s.readChainLocked(len(s.idx) - 1)
+	return s.idx[len(s.idx)-1].version, payload, err
 }
 
-// At returns the record at the given version; versions that were never
-// stored or have been compacted away are an error.
+// At returns the materialized record at the given version; versions that
+// were never stored or have been compacted away are an error.
 func (s *Store) At(version uint64) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.idx {
+	for i, e := range s.idx {
 		if e.version == version {
-			return s.readLocked(e)
+			return s.readChainLocked(i)
 		}
 	}
 	if len(s.idx) == 0 {
@@ -244,8 +564,42 @@ func (s *Store) At(version uint64) ([]byte, error) {
 		version, s.idx[0].version, s.idx[len(s.idx)-1].version)
 }
 
-// readLocked reads and re-verifies one record's payload. Re-checking the
-// CRC on every read catches bytes that rotted after Open.
+// readChainLocked materializes the record at index position i: a full
+// record is read directly; a delta record resolves back to the nearest
+// full record and replays the deltas forward. Every record touched is
+// CRC-rechecked and every delta structurally re-validated, so bytes
+// that rot after Open are caught here.
+func (s *Store) readChainLocked(i int) ([]byte, error) {
+	base := i
+	for base >= 0 && s.idx[base].kind == KindDelta {
+		base--
+	}
+	if base < 0 {
+		// Recovery never admits a delta without its base, so this is
+		// index corruption, not a reachable log state.
+		return nil, fmt.Errorf("store: version %d has no base record", s.idx[i].version)
+	}
+	cur, err := s.readLocked(s.idx[base])
+	if err != nil {
+		return nil, err
+	}
+	for k := base + 1; k <= i; k++ {
+		dp, err := s.readLocked(s.idx[k])
+		if err != nil {
+			return nil, err
+		}
+		if !validDelta(dp, s.idx[k-1].version, uint32(len(cur))) {
+			return nil, fmt.Errorf("store: version %d delta record no longer matches its base", s.idx[k].version)
+		}
+		applyDelta(cur, dp)
+	}
+	return cur, nil
+}
+
+// readLocked reads and re-verifies one record's raw payload (a delta
+// record's payload is the delta encoding, not the materialized
+// snapshot — use readChainLocked for that). Re-checking the CRC on
+// every read catches bytes that rotted after Open.
 func (s *Store) readLocked(e indexEntry) ([]byte, error) {
 	if s.f == nil {
 		return nil, errors.New("store: closed")
@@ -270,6 +624,19 @@ func (s *Store) Versions() []uint64 {
 	out := make([]uint64, len(s.idx))
 	for i, e := range s.idx {
 		out[i] = e.version
+	}
+	return out
+}
+
+// Records returns, per retained version in ascending order, the record
+// kind and its on-disk footprint — the observable cost of each durable
+// publish.
+func (s *Store) Records() []RecordInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RecordInfo, len(s.idx))
+	for i, e := range s.idx {
+		out[i] = RecordInfo{Version: e.version, Kind: e.kind, Bytes: headerSize + int64(e.plen)}
 	}
 	return out
 }
@@ -301,50 +668,70 @@ func (s *Store) Compact() error {
 }
 
 // compactLocked rewrites the retained suffix to a temp file and renames
-// it over the log. On any error the original log and index are kept.
+// it over the log. A retained suffix that starts with a delta record is
+// rebased: that version is materialized and written as a fresh full
+// record (its base is being dropped); later records — whose deltas
+// resolve against retained predecessors — copy over verbatim. On any
+// error the original log and index are kept.
 func (s *Store) compactLocked() error {
 	if s.opts.Retain <= 0 || len(s.idx) <= s.opts.Retain {
 		return nil
 	}
-	keep := s.idx[len(s.idx)-s.opts.Retain:]
+	first := len(s.idx) - s.opts.Retain
+	keep := s.idx[first:]
 	logPath := filepath.Join(s.dir, logName)
 	tmpPath := logPath + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compacting: %w", err)
 	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting: %w", err)
+	}
 	newIdx := make([]indexEntry, 0, len(keep))
 	var off int64
 	var buf []byte
-	for _, e := range keep {
+	for i, e := range keep {
+		if i == 0 && e.kind == KindDelta {
+			// Rebase onto a fresh full record.
+			payload, err := s.readChainLocked(first)
+			if err != nil {
+				return fail(err)
+			}
+			rec := frameRecord(recordMagic, e.version, payload)
+			if _, err := tmp.WriteAt(rec, off); err != nil {
+				return fail(err)
+			}
+			newIdx = append(newIdx, indexEntry{
+				version: e.version, off: off, plen: uint32(len(payload)),
+				kind: KindFull, mlen: uint32(len(payload)),
+			})
+			off += int64(len(rec))
+			continue
+		}
 		n := headerSize + int(e.plen)
 		if len(buf) < n {
 			buf = make([]byte, n)
 		}
 		if _, err := s.f.ReadAt(buf[:n], e.off); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("store: compacting: %w", err)
+			return fail(err)
 		}
 		if _, err := tmp.WriteAt(buf[:n], off); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("store: compacting: %w", err)
+			return fail(err)
 		}
-		newIdx = append(newIdx, indexEntry{version: e.version, off: off, plen: e.plen})
+		e.off = off
+		newIdx = append(newIdx, e)
 		off += int64(n)
 	}
 	if !s.opts.NoSync {
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("store: compacting: %w", err)
+			return fail(err)
 		}
 	}
 	if err := os.Rename(tmpPath, logPath); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("store: compacting: %w", err)
+		return fail(err)
 	}
 	// The rename took effect: tmp is now the log. Swap handles.
 	s.f.Close()
@@ -458,6 +845,7 @@ func (s *Store) Close() error {
 	}
 	err := s.f.Close()
 	s.f = nil
+	s.last = nil
 	return err
 }
 

@@ -417,3 +417,329 @@ func TestStoreAppendSurvivesCompactionFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// deltaPayload builds a payload under layout {header, chunk} with the
+// given header byte pattern and per-chunk fill.
+func deltaPayload(layout Layout, nchunks int, header byte, fill func(chunk int) byte) []byte {
+	b := make([]byte, layout.HeaderLen+nchunks*layout.ChunkSize)
+	for i := 0; i < layout.HeaderLen; i++ {
+		b[i] = header
+	}
+	for k := 0; k < nchunks; k++ {
+		v := fill(k)
+		chunk := b[layout.HeaderLen+k*layout.ChunkSize : layout.HeaderLen+(k+1)*layout.ChunkSize]
+		for i := range chunk {
+			chunk[i] = v
+		}
+	}
+	return b
+}
+
+func TestStoreDeltaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{HeaderLen: 5, ChunkSize: 32}
+	const nchunks = 40
+	s := open(t, dir, Options{})
+
+	base := deltaPayload(layout, nchunks, 1, func(int) byte { return 10 })
+	kind, err := s.AppendDelta(1, base, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindFull {
+		t.Fatalf("first record kind %v, want full", kind)
+	}
+	// Three deltas, each changing 2 chunks over its predecessor.
+	want := [][]byte{base}
+	cur := base
+	for v := uint64(2); v <= 4; v++ {
+		next := bytes.Clone(cur)
+		next[0] = byte(v) // header changes too
+		for _, k := range []int{int(v), int(v) + 7} {
+			chunk := next[layout.HeaderLen+k*layout.ChunkSize : layout.HeaderLen+(k+1)*layout.ChunkSize]
+			for i := range chunk {
+				chunk[i] = byte(100 + v)
+			}
+		}
+		kind, err := s.AppendDelta(v, next, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != KindDelta {
+			t.Fatalf("v%d kind %v, want delta", v, kind)
+		}
+		want = append(want, next)
+		cur = next
+	}
+
+	check := func(s *Store, stage string) {
+		t.Helper()
+		for v := uint64(1); v <= 4; v++ {
+			got, err := s.At(v)
+			if err != nil {
+				t.Fatalf("%s: At(%d): %v", stage, v, err)
+			}
+			if !bytes.Equal(got, want[v-1]) {
+				t.Fatalf("%s: At(%d) materialized wrong payload", stage, v)
+			}
+		}
+		lv, lp, err := s.Latest()
+		if err != nil || lv != 4 || !bytes.Equal(lp, want[3]) {
+			t.Fatalf("%s: Latest = v%d, err %v", stage, lv, err)
+		}
+	}
+	check(s, "live")
+
+	recs := s.Records()
+	if len(recs) != 4 {
+		t.Fatalf("Records = %+v", recs)
+	}
+	if recs[0].Kind != KindFull || recs[1].Kind != KindDelta || recs[3].Kind != KindDelta {
+		t.Fatalf("record kinds %+v", recs)
+	}
+	fullBytes := recs[0].Bytes
+	for _, r := range recs[1:] {
+		if r.Bytes*2 >= fullBytes {
+			t.Errorf("delta v%d is %d bytes, not under half the %d-byte full record", r.Version, r.Bytes, fullBytes)
+		}
+	}
+
+	// The chain survives a reopen bit-identically, and the reopened
+	// store keeps appending deltas (lazy cache materialization).
+	s.Close()
+	s2 := open(t, dir, Options{})
+	check(s2, "reopened")
+	next := bytes.Clone(want[3])
+	copy(next[layout.HeaderLen:layout.HeaderLen+layout.ChunkSize], bytes.Repeat([]byte{0xEE}, layout.ChunkSize))
+	kind, err = s2.AppendDelta(5, next, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindDelta {
+		t.Fatalf("post-reopen append kind %v, want delta (cache rebuilt from the chain)", kind)
+	}
+	if got, err := s2.At(5); err != nil || !bytes.Equal(got, next) {
+		t.Fatalf("At(5): %v", err)
+	}
+}
+
+func TestStoreDeltaChainBound(t *testing.T) {
+	layout := Layout{HeaderLen: 0, ChunkSize: 16}
+	s := open(t, t.TempDir(), Options{MaxChain: 3, NoSync: true})
+	cur := deltaPayload(layout, 24, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for v := uint64(2); v <= 9; v++ {
+		cur = bytes.Clone(cur)
+		cur[int(v)*layout.ChunkSize] = byte(v) // one chunk changes
+		kind, err := s.AppendDelta(v, cur, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, kind)
+	}
+	// full, d, d, d, full, d, d, d, full — every 4th record re-anchors.
+	want := []Kind{KindDelta, KindDelta, KindDelta, KindFull, KindDelta, KindDelta, KindDelta, KindFull}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("append kinds %v, want %v (chain bound 3)", kinds, want)
+		}
+	}
+}
+
+func TestStoreDeltaDisabled(t *testing.T) {
+	layout := Layout{HeaderLen: 0, ChunkSize: 16}
+	s := open(t, t.TempDir(), Options{MaxChain: -1, NoSync: true})
+	cur := deltaPayload(layout, 8, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	cur = bytes.Clone(cur)
+	cur[3] = 99
+	kind, err := s.AppendDelta(2, cur, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindFull {
+		t.Fatalf("kind %v with MaxChain -1, want full", kind)
+	}
+}
+
+func TestStoreDeltaHalfSizeRule(t *testing.T) {
+	layout := Layout{HeaderLen: 0, ChunkSize: 64}
+	const nchunks = 16
+	s := open(t, t.TempDir(), Options{NoSync: true})
+	cur := deltaPayload(layout, nchunks, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	// Change over half the chunks: the delta (index overhead included)
+	// exceeds 50% of the payload, so a full record must be written.
+	cur = bytes.Clone(cur)
+	for k := 0; k < 9; k++ {
+		cur[k*layout.ChunkSize] = 0xAA
+	}
+	kind, err := s.AppendDelta(2, cur, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindFull {
+		t.Fatalf("9/16 chunks changed: kind %v, want full (>50%% rule)", kind)
+	}
+	// A small change still goes delta.
+	cur = bytes.Clone(cur)
+	cur[0] = 0xBB
+	if kind, err = s.AppendDelta(3, cur, layout); err != nil || kind != KindDelta {
+		t.Fatalf("1/16 chunks changed: kind %v err %v, want delta", kind, err)
+	}
+	// A payload whose length no longer matches the predecessor falls
+	// back to full (the layout cannot line up).
+	grown := deltaPayload(layout, nchunks+2, 0, func(int) byte { return 7 })
+	if kind, err = s.AppendDelta(4, grown, layout); err != nil || kind != KindFull {
+		t.Fatalf("grown payload: kind %v err %v, want full", kind, err)
+	}
+	// Layouts that do not tile the payload are caller errors.
+	if _, err := s.AppendDelta(5, cur[:len(cur)-3], layout); err == nil {
+		t.Error("non-tiling layout accepted")
+	}
+	if _, err := s.AppendDelta(5, cur, Layout{HeaderLen: 0, ChunkSize: 0}); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+}
+
+func TestStoreDeltaCompactionRebase(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{HeaderLen: 4, ChunkSize: 32}
+	const nchunks = 20
+	s := open(t, dir, Options{Retain: 3})
+	want := make(map[uint64][]byte)
+	cur := deltaPayload(layout, nchunks, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	want[1] = cur
+	for v := uint64(2); v <= 5; v++ {
+		cur = bytes.Clone(cur)
+		cur[layout.HeaderLen+int(v)*layout.ChunkSize] = byte(v)
+		if _, err := s.AppendDelta(v, cur, layout); err != nil {
+			t.Fatal(err)
+		}
+		want[v] = cur
+	}
+	// Versions 2..5 are deltas; retaining the newest 3 drops the full
+	// base, so compaction must rebase v3 onto a fresh full record.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Records()
+	if len(recs) != 3 || recs[0].Version != 3 {
+		t.Fatalf("Records after compact = %+v", recs)
+	}
+	if recs[0].Kind != KindFull {
+		t.Fatalf("first retained record is %v, want full (rebased)", recs[0].Kind)
+	}
+	if recs[1].Kind != KindDelta || recs[2].Kind != KindDelta {
+		t.Fatalf("suffix kinds %+v, want deltas preserved", recs)
+	}
+	for v := uint64(3); v <= 5; v++ {
+		got, err := s.At(v)
+		if err != nil || !bytes.Equal(got, want[v]) {
+			t.Fatalf("At(%d) after rebase: %v", v, err)
+		}
+	}
+	// The rebased log must also recover cleanly from disk.
+	s.Close()
+	s2 := open(t, dir, Options{Retain: 3})
+	for v := uint64(3); v <= 5; v++ {
+		got, err := s2.At(v)
+		if err != nil || !bytes.Equal(got, want[v]) {
+			t.Fatalf("reopened At(%d) after rebase: %v", v, err)
+		}
+	}
+	// And appends continue, deltas included.
+	cur = bytes.Clone(want[5])
+	cur[layout.HeaderLen] = 0xCC
+	if kind, err := s2.AppendDelta(6, cur, layout); err != nil || kind != KindDelta {
+		t.Fatalf("append after rebase: kind %v err %v", kind, err)
+	}
+}
+
+func TestStoreDeltaCorruptionTruncatesChainSuffix(t *testing.T) {
+	dir := t.TempDir()
+	layout := Layout{HeaderLen: 0, ChunkSize: 32}
+	s := open(t, dir, Options{})
+	cur := deltaPayload(layout, 16, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for v := uint64(2); v <= 4; v++ {
+		offsets = append(offsets, s.size)
+		cur = bytes.Clone(cur)
+		cur[int(v)*layout.ChunkSize] = byte(v)
+		if _, err := s.AppendDelta(v, cur, layout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Flip a payload byte inside the middle delta (v3): recovery must
+	// keep [1 2] — v4's delta depends on v3 and falls with it.
+	logPath := filepath.Join(dir, logName)
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[offsets[1]+headerSize+10] ^= 0x20
+	if err := os.WriteFile(logPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	got := s2.Versions()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("after mid-chain flip: Versions = %v, want [1 2]", got)
+	}
+	if _, err := s2.At(2); err != nil {
+		t.Fatalf("surviving delta unreadable: %v", err)
+	}
+	if _, err := s2.At(3); err == nil {
+		t.Error("corrupted version still readable")
+	}
+}
+
+func TestStoreDeltaRecordNeverFirst(t *testing.T) {
+	// A log that opens with a delta record (its base lost to some
+	// external truncation) must recover to empty, not panic or index an
+	// unresolvable record.
+	dir := t.TempDir()
+	layout := Layout{HeaderLen: 0, ChunkSize: 32}
+	s := open(t, dir, Options{})
+	cur := deltaPayload(layout, 16, 0, func(int) byte { return 1 })
+	if _, err := s.AppendDelta(1, cur, layout); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := s.size
+	cur = bytes.Clone(cur)
+	cur[0] = 9
+	if kind, err := s.AppendDelta(2, cur, layout); err != nil || kind != KindDelta {
+		t.Fatalf("kind %v err %v", kind, err)
+	}
+	s.Close()
+	// Drop the leading full record, leaving the delta first.
+	logPath := filepath.Join(dir, logName)
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, b[firstLen:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	if got := s2.Versions(); len(got) != 0 {
+		t.Fatalf("orphan delta survived recovery: %v", got)
+	}
+	if err := s2.Append(1, []byte("fresh")); err != nil {
+		t.Fatalf("append after orphan-delta recovery: %v", err)
+	}
+}

@@ -5,7 +5,8 @@
 # Runs the two reconstruction benchmarks that gate solver performance
 # (Fig 16 constraint ablation and the initialization ablation), the
 # drift-monitor observe benchmark, and the snapshot-store append+load
-# benchmark with -benchmem, prints the result, and appends one JSON line
+# and delta-append benchmarks with -benchmem, prints the result, and
+# appends one JSON line
 # per benchmark to BENCH_recon.json so successive PRs leave a comparable
 # trajectory:
 #
@@ -24,11 +25,14 @@
 #	                                     TestMonitorObserveAllocBudget)
 #	StoreAppendLoad          <=     12  (2 measured: one record buffer,
 #	                                     one payload read buffer)
+#	StoreAppendDelta         <=      8  (~1-3 measured: the framed delta
+#	                                     record + diff scratch; cache and
+#	                                     index growth amortize)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad' \
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta' \
 	-benchtime "$benchtime" -benchmem "$@" . ./internal/store)"
 echo "$out"
 
@@ -56,6 +60,7 @@ BEGIN {
 	budget["BenchmarkAblationInitialization"] = 20000
 	budget["BenchmarkMonitorObserve"] = 2
 	budget["BenchmarkStoreAppendLoad"] = 12
+	budget["BenchmarkStoreAppendDelta"] = 8
 	failures = 0
 }
 /^Benchmark/ {

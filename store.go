@@ -13,8 +13,9 @@ import (
 type StoreOption func(*storeConfig)
 
 type storeConfig struct {
-	retain int
-	noSync bool
+	retain   int
+	noSync   bool
+	maxChain int
 }
 
 // WithRetention keeps only the newest n snapshot versions on disk
@@ -32,6 +33,19 @@ func WithoutSync() StoreOption {
 	return func(c *storeConfig) { c.noSync = true }
 }
 
+// WithMaxChain bounds how many consecutive delta records the store may
+// stack on one full snapshot record before a publish is forced to write
+// a full record again (default 16). Longer chains make small updates
+// cheaper on disk but cost more record reads to materialize an old
+// version; n <= 0 disables delta records entirely, so every publish
+// persists a full snapshot.
+func WithMaxChain(n int) StoreOption {
+	if n <= 0 {
+		n = -1
+	}
+	return func(c *storeConfig) { c.maxChain = n }
+}
+
 // Store is a durable, versioned snapshot store: one directory holding an
 // append-only checksummed record log of every snapshot a Deployment
 // publishes, plus small auxiliary state (the drift monitor's calibrated
@@ -45,11 +59,24 @@ func WithoutSync() StoreOption {
 // store recovers to the newest durable version instead of failing open.
 // See the internal/store package documentation for the record format.
 //
+// To keep durability proportional to what actually changed — the
+// paper's low-cost premise applied to the disk — a publish whose
+// fingerprints differ from the previous version in only a few columns
+// is persisted as a delta record (the changed columns only, ~an order
+// of magnitude smaller than a full snapshot for a typical auto-update)
+// instead of re-serializing the whole matrix. Reads transparently
+// resolve delta chains back to their base full record, chains are
+// bounded by WithMaxChain, and Records reports each retained version's
+// record kind and on-disk footprint.
+//
 // All methods are safe for concurrent use. A Store must be attached to
 // at most one live Deployment at a time (two writers would race on the
 // version sequence; the loser's append fails).
 type Store struct {
 	st *store.Store
+	// closeErr, when non-nil, is returned by Close after the underlying
+	// store closed — a test seam for fleet lifecycle fault injection.
+	closeErr error
 }
 
 // OpenStore opens (creating if needed) a snapshot store directory and
@@ -59,7 +86,7 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	st, err := store.Open(dir, store.Options{Retain: cfg.retain, NoSync: cfg.noSync})
+	st, err := store.Open(dir, store.Options{Retain: cfg.retain, NoSync: cfg.noSync, MaxChain: cfg.maxChain})
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: %w", err)
 	}
@@ -70,7 +97,33 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 func (s *Store) Dir() string { return s.st.Dir() }
 
 // Versions returns the retained snapshot versions in ascending order.
+// The returned slice is the caller's to keep.
 func (s *Store) Versions() []uint64 { return s.st.Versions() }
+
+// RecordInfo describes how one retained snapshot version sits on disk:
+// as a full snapshot record or as a delta record holding only the
+// columns changed versus the previous version, and how many bytes the
+// record occupies (framing header included). Either way, reads return
+// the complete snapshot.
+type RecordInfo struct {
+	Version uint64 `json:"version"`
+	// Kind is "full" or "delta".
+	Kind string `json:"kind"`
+	// Bytes is the on-disk record size, header included.
+	Bytes int64 `json:"bytes"`
+}
+
+// Records returns, per retained version in ascending order, the record
+// kind and on-disk footprint — the observable durability cost of each
+// publish. The returned slice is the caller's to keep.
+func (s *Store) Records() []RecordInfo {
+	recs := s.st.Records()
+	out := make([]RecordInfo, len(recs))
+	for i, r := range recs {
+		out[i] = RecordInfo{Version: r.Version, Kind: r.Kind.String(), Bytes: r.Bytes}
+	}
+	return out
+}
 
 // LatestVersion returns the newest stored version, 0 when the store is
 // empty.
@@ -101,15 +154,25 @@ func (s *Store) Compact() error {
 // Close releases the store. The owning Deployment must not publish
 // afterwards.
 func (s *Store) Close() error {
-	if err := s.st.Close(); err != nil {
-		return fmt.Errorf("iupdater: %w", err)
+	err := s.st.Close()
+	if err != nil {
+		err = fmt.Errorf("iupdater: %w", err)
 	}
-	return nil
+	if s.closeErr != nil {
+		// Join rather than replace, so an injected failure never masks a
+		// real one.
+		return errors.Join(s.closeErr, err)
+	}
+	return err
 }
 
-// appendSnapshot persists one published snapshot.
+// appendSnapshot persists one published snapshot. The store diffs the
+// encoded payload column-wise against the previous retained version and
+// writes a delta record when few columns changed, a full record
+// otherwise; either way the append is fsynced before it returns.
 func (s *Store) appendSnapshot(version uint64, g Geometry, fp Matrix) error {
-	if err := s.st.Append(version, encodeSnapshot(g, fp)); err != nil {
+	layout := store.Layout{HeaderLen: snapshotHeaderLen, ChunkSize: fp.rows * 8}
+	if _, err := s.st.AppendDelta(version, encodeSnapshot(g, fp), layout); err != nil {
 		return fmt.Errorf("iupdater: persisting snapshot v%d: %w", version, err)
 	}
 	return nil
@@ -142,10 +205,17 @@ func (s *Store) latestSnapshot() (version uint64, fp Matrix, g Geometry, err err
 //	25      4          matrix rows (uint32)
 //	29      4          matrix cols (uint32)
 //	33      rows*cols*8  fingerprints, column-major float64 bits
-const snapshotFormatV1 = 1
+//
+// The 33-byte prefix and the rows*8-byte column stride double as the
+// store's delta layout: a delta record re-states the prefix and only
+// the columns whose bits changed.
+const (
+	snapshotFormatV1  = 1
+	snapshotHeaderLen = 33
+)
 
 func encodeSnapshot(g Geometry, fp Matrix) []byte {
-	buf := make([]byte, 33+len(fp.data)*8)
+	buf := make([]byte, snapshotHeaderLen+len(fp.data)*8)
 	buf[0] = snapshotFormatV1
 	binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(g.WidthM))
 	binary.LittleEndian.PutUint64(buf[9:], math.Float64bits(g.HeightM))
@@ -154,13 +224,13 @@ func encodeSnapshot(g Geometry, fp Matrix) []byte {
 	binary.LittleEndian.PutUint32(buf[25:], uint32(fp.rows))
 	binary.LittleEndian.PutUint32(buf[29:], uint32(fp.cols))
 	for i, v := range fp.data {
-		binary.LittleEndian.PutUint64(buf[33+i*8:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[snapshotHeaderLen+i*8:], math.Float64bits(v))
 	}
 	return buf
 }
 
 func decodeSnapshot(b []byte) (Matrix, Geometry, error) {
-	if len(b) < 33 {
+	if len(b) < snapshotHeaderLen {
 		return Matrix{}, Geometry{}, fmt.Errorf("payload of %d bytes is too short", len(b))
 	}
 	if b[0] != snapshotFormatV1 {
@@ -177,12 +247,12 @@ func decodeSnapshot(b []byte) (Matrix, Geometry, error) {
 	if rows <= 0 || cols <= 0 || rows != g.Links || cols != g.NumCells() {
 		return Matrix{}, Geometry{}, fmt.Errorf("matrix %dx%d inconsistent with geometry %+v", rows, cols, g)
 	}
-	if want := 33 + rows*cols*8; len(b) != want {
+	if want := snapshotHeaderLen + rows*cols*8; len(b) != want {
 		return Matrix{}, Geometry{}, fmt.Errorf("payload is %d bytes, want %d for %dx%d", len(b), want, rows, cols)
 	}
 	m := Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 	for i := range m.data {
-		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[33+i*8:]))
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[snapshotHeaderLen+i*8:]))
 	}
 	return m, g, nil
 }

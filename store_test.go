@@ -57,6 +57,28 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 	if snap.Version() != 2 {
 		t.Fatalf("post-update version %d, want 2", snap.Version())
 	}
+	// Tack a delta chain onto the tail: two publishes that each tweak a
+	// handful of columns persist as delta records, so the restart below
+	// has to materialize a chain, not just read back one full record.
+	for n := 1; n <= 2; n++ {
+		fp := d.Snapshot().Fingerprints()
+		for k := 0; k < 5; k++ {
+			j := (7*n + k*11) % fp.Cols()
+			for i := 0; i < fp.Rows(); i++ {
+				fp.Set(i, j, fp.At(i, j)+0.1*float64(n))
+			}
+		}
+		if _, err := d.Install(fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := d.Version(); v != 4 {
+		t.Fatalf("post-install version %d, want 4", v)
+	}
+	recs := st.Records()
+	if len(recs) != 4 || recs[2].Kind != "delta" || recs[3].Kind != "delta" {
+		t.Fatalf("stored records %+v, want a delta tail at v3 and v4", recs)
+	}
 
 	probes := make([][]float64, 5)
 	before := make([]Position, len(probes))
@@ -83,8 +105,8 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := d2.Version(); v != 2 {
-		t.Fatalf("warm-started version %d, want 2", v)
+	if v := d2.Version(); v != 4 {
+		t.Fatalf("warm-started version %d, want 4", v)
 	}
 	if g := d2.Geometry(); g != tb.Geometry() {
 		t.Fatalf("warm-started geometry %+v, want %+v", g, tb.Geometry())
@@ -102,13 +124,108 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 		}
 	}
 	// The warm-started deployment keeps publishing into the same store.
-	snap3 := updateAt(t, d2, tb, 60*day)
-	if snap3.Version() != 3 {
-		t.Fatalf("post-restart update version %d, want 3", snap3.Version())
+	snap5 := updateAt(t, d2, tb, 60*day)
+	if snap5.Version() != 5 {
+		t.Fatalf("post-restart update version %d, want 5", snap5.Version())
 	}
 	vs := st2.Versions()
-	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
-		t.Fatalf("stored versions %v, want [1 2 3]", vs)
+	if len(vs) != 5 || vs[0] != 1 || vs[4] != 5 {
+		t.Fatalf("stored versions %v, want [1 2 3 4 5]", vs)
+	}
+}
+
+// TestStoreDeltaPersistsFewerBytes is the low-cost durability claim on
+// the office testbed geometry: a publish in which at most 10% of the
+// reference columns changed must hit the disk as a delta record at
+// least 5x smaller than a full snapshot record, while reading the
+// version back stays bit-exact.
+func TestStoreDeltaPersistsFewerBytes(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tb := NewTestbed(Office(), 6)
+	d, _, err := tb.Deploy(0, 20, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change 9 of the 96 columns (<= 10%) and republish.
+	fp := d.Snapshot().Fingerprints()
+	if fp.Cols() != 96 {
+		t.Fatalf("office geometry has %d cells, want 96", fp.Cols())
+	}
+	for k := 0; k < 9; k++ {
+		j := k * 10
+		for i := 0; i < fp.Rows(); i++ {
+			fp.Set(i, j, fp.At(i, j)+0.25)
+		}
+	}
+	if _, err := d.Install(fp); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Records()
+	if len(recs) != 2 {
+		t.Fatalf("stored records %+v, want 2", recs)
+	}
+	if recs[0].Kind != "full" || recs[1].Kind != "delta" {
+		t.Fatalf("record kinds %+v, want [full delta]", recs)
+	}
+	if 5*recs[1].Bytes > recs[0].Bytes {
+		t.Errorf("delta record is %d bytes vs %d for the full snapshot: want >= 5x smaller for a <= 10%% column change",
+			recs[1].Bytes, recs[0].Bytes)
+	}
+	// The delta-stored version reads back bit-exactly...
+	got, _, err := st.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, fp) {
+		t.Fatal("delta-stored snapshot did not materialize bit-identically")
+	}
+	// ...and still does after a reopen recovers the chain from disk.
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got2, _, err := st2.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got2, fp) {
+		t.Fatal("reopened delta-stored snapshot did not materialize bit-identically")
+	}
+}
+
+// TestStoreMaxChainDisabledForcesFullRecords: WithMaxChain(0) opts a
+// store out of delta encoding entirely.
+func TestStoreMaxChainDisabledForcesFullRecords(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), WithMaxChain(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tb := NewTestbed(Office(), 6)
+	d, _, err := tb.Deploy(0, 20, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := d.Snapshot().Fingerprints()
+	for i := 0; i < fp.Rows(); i++ {
+		fp.Set(i, 3, fp.At(i, 3)+0.5)
+	}
+	if _, err := d.Install(fp); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range st.Records() {
+		if rec.Kind != "full" {
+			t.Fatalf("record %+v with WithMaxChain(0), want full", rec)
+		}
 	}
 }
 
