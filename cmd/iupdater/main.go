@@ -6,6 +6,8 @@
 //	iupdater labor    [-scale k]
 //	iupdater serve    [-env ...] [-seed n] [-addr :8080] [-workers n]
 //	                  [-sites name=env,...] [-data-dir dir] [-retain n]
+//	                  [-follow name=url,...]
+//	iupdater replicate -leader url [-site name] [-addr :8081]
 //
 // survey prints the original fingerprint database and its labor cost;
 // update runs the iUpdater refresh after the given number of days and
@@ -27,6 +29,14 @@
 // re-survey, resumed drift baseline), POST .../rollback?version=N
 // republishes a retained version, and -retain bounds how many versions
 // each site keeps.
+//
+// Durable sites also stream their snapshot record log to followers
+// under GET /records (per-site: /sites/{name}/records). A follower —
+// serve's -follow flag, or the dedicated replicate mode — tails that
+// endpoint, validates every record like the store's own crash
+// recovery, and serves read-only localization that is bit-identical to
+// the leader at the same version; its replication lag shows under
+// GET /sites, and writes against it answer 409.
 package main
 
 import (
@@ -57,6 +67,8 @@ func main() {
 		err = runLabor(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "replicate":
+		err = runReplicate(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,7 +89,9 @@ func usage() {
   localize  refresh, then localize a target at (-x, -y)
   labor     print the labor-cost model for a -scale x larger area
   serve     run the HTTP localization service (multi-site with -sites,
-            durable snapshot stores with -data-dir)
+            durable snapshot stores with -data-dir, follower sites
+            with -follow)
+  replicate run a read-only follower of a leader's records endpoint
 `)
 }
 

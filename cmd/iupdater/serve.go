@@ -23,12 +23,15 @@ import (
 
 // site is one served deployment: the Deployment itself plus the testbed
 // standing in for that site's radio hardware and the simulated clock its
-// measurements are taken at.
+// measurements are taken at. A replica site (rep != nil) has neither a
+// deployment nor a testbed: it serves read-only localization from the
+// snapshots its follower tails off a leader.
 type site struct {
 	name string
 	d    *iupdater.Deployment
 	tb   *iupdater.Testbed
 	mon  *iupdater.Monitor
+	rep  *iupdater.Replica
 
 	// mu guards clock — the simulated elapsed deployment time advanced
 	// by testbed-driven updates — and serializes all testbed
@@ -41,6 +44,31 @@ type site struct {
 
 func newSite(name string, d *iupdater.Deployment, tb *iupdater.Testbed) *site {
 	return &site{name: name, d: d, tb: tb}
+}
+
+func newReplicaSite(name string, rep *iupdater.Replica) *site {
+	return &site{name: name, rep: rep}
+}
+
+// snap returns the site's serving snapshot: the deployment's latest
+// for a writer site, the last applied one for a replica — nil while a
+// replica has not synced from its leader yet.
+func (st *site) snap() *iupdater.Snapshot {
+	if st.rep != nil {
+		return st.rep.Snapshot()
+	}
+	return st.d.Snapshot()
+}
+
+// readOnly writes the 409 telling callers of mutating routes that this
+// site is a follower, reporting whether it did so.
+func (st *site) readOnly(w http.ResponseWriter) bool {
+	if st.rep == nil {
+		return false
+	}
+	writeError(w, http.StatusConflict,
+		fmt.Errorf("site %s is a read-only replica (following %s)", st.name, st.rep.Source()))
+	return true
 }
 
 // enableMonitor attaches a drift monitor whose reference surveys are
@@ -85,13 +113,23 @@ type server struct {
 	def     *site
 	workers int
 	pprof   bool
+
+	// drain is cancelled when graceful shutdown begins (wired to
+	// http.Server.RegisterOnShutdown), so parked records long-polls end
+	// immediately instead of holding the drain open until their wait
+	// deadline.
+	drain       context.Context
+	cancelDrain context.CancelFunc
 }
 
 func newServer(workers int) *server {
+	drain, cancelDrain := context.WithCancel(context.Background())
 	return &server{
-		fleet:   iupdater.NewFleet(),
-		sites:   make(map[string]*site),
-		workers: workers,
+		fleet:       iupdater.NewFleet(),
+		sites:       make(map[string]*site),
+		workers:     workers,
+		drain:       drain,
+		cancelDrain: cancelDrain,
 	}
 }
 
@@ -99,7 +137,11 @@ func newServer(workers int) *server {
 // wanted). The first site added becomes the default for the alias
 // routes. Not safe to call once the handler is serving.
 func (s *server) addSite(st *site) error {
-	if _, err := s.fleet.Add(st.name, st.d, st.mon); err != nil {
+	if st.rep != nil {
+		if _, err := s.fleet.AddReplica(st.name, st.rep); err != nil {
+			return err
+		}
+	} else if _, err := s.fleet.Add(st.name, st.d, st.mon); err != nil {
 		return err
 	}
 	s.sites[st.name] = st
@@ -140,6 +182,7 @@ func (s *server) handler() http.Handler {
 	route("GET", "/snapshot", s.handleSnapshot)
 	route("GET", "/drift", s.handleDrift)
 	route("POST", "/rollback", s.handleRollback)
+	route("GET", "/records", s.handleRecords)
 	route("GET", "/sites", s.handleSites)
 	route("GET", "/sites/{site}", s.handleSite)
 	route("POST", "/sites/{site}/locate", s.handleLocate)
@@ -147,8 +190,14 @@ func (s *server) handler() http.Handler {
 	route("GET", "/sites/{site}/snapshot", s.handleSnapshot)
 	route("GET", "/sites/{site}/drift", s.handleDrift)
 	route("POST", "/sites/{site}/rollback", s.handleRollback)
+	route("GET", "/sites/{site}/records", s.handleRecords)
 	route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.def.d.Version(), "sites": len(s.sites)})
+		// A replica default site reports 0 until it has synced.
+		var version uint64
+		if snap := s.def.snap(); snap != nil {
+			version = snap.Version()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": version, "sites": len(s.sites)})
 	})
 	if s.pprof {
 		// Profiling of the live update/locate hot paths, opt-in via
@@ -211,7 +260,12 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Pin one snapshot so the reported version matches the database every
 	// estimate in the response was computed against.
-	snap := st.d.Snapshot()
+	snap := st.snap()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("replica %s has not synced from its leader yet", st.name))
+		return
+	}
 	resp := locateResponse{Version: snap.Version()}
 	if req.RSS != nil {
 		p, err := snap.Locate(req.RSS)
@@ -257,7 +311,7 @@ type updateResponse struct {
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	st := s.siteFor(w, r)
-	if st == nil {
+	if st == nil || st.readOnly(w) {
 		return
 	}
 	var req updateRequest
@@ -340,13 +394,22 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	snap := st.d.Snapshot()
+	snap := st.snap()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("replica %s has not synced from its leader yet", st.name))
+		return
+	}
 	fp := snap.Fingerprints()
 	resp := snapshotResponse{
 		Version:      snap.Version(),
 		Links:        fp.Rows(),
 		Cells:        fp.Cols(),
 		Fingerprints: fp.ToRows(),
+	}
+	if st.rep != nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
 	if store := st.d.Store(); store != nil {
 		for _, rec := range store.Records() {
@@ -414,7 +477,7 @@ type rollbackResponse struct {
 
 func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	st := s.siteFor(w, r)
-	if st == nil {
+	if st == nil || st.readOnly(w) {
 		return
 	}
 	vstr := r.URL.Query().Get("version")
@@ -435,16 +498,56 @@ func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rollbackResponse{Version: snap.Version(), RestoredVersion: version})
 }
 
+// handleRecords streams a site's snapshot record log to follower
+// replicas (the leader side of replication; see
+// iupdater.Deployment.ServeRecords for the protocol). Replica sites do
+// not re-serve records, and in-memory sites have no log to stream.
+func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	st := s.siteFor(w, r)
+	if st == nil {
+		return
+	}
+	if st.rep != nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("site %s is a replica; fetch records from its leader %s", st.name, st.rep.Source()))
+		return
+	}
+	if st.d.Store() == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("site %s has no durable store to replicate from (start with -data-dir)", st.name))
+		return
+	}
+	// Derive the request context from the drain signal: Shutdown does
+	// not cancel in-flight request contexts, and a follower's long-poll
+	// would otherwise pin the graceful drain until its wait expires.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.drain, cancel)
+	defer stop()
+	st.d.ServeRecords().ServeHTTP(w, r.WithContext(ctx))
+}
+
 // siteSummaryJSON mirrors iupdater.SiteSummary over the wire.
 type siteSummaryJSON struct {
-	Name           string         `json:"name"`
-	Version        uint64         `json:"version"`
-	Links          int            `json:"links"`
-	Cells          int            `json:"cells"`
-	Durable        bool           `json:"durable"`
-	StoredVersions []uint64       `json:"stored_versions,omitempty"`
-	StoredRecords  []recordJSON   `json:"stored_records,omitempty"`
-	Drift          *driftResponse `json:"drift,omitempty"`
+	Name           string             `json:"name"`
+	Version        uint64             `json:"version"`
+	Links          int                `json:"links"`
+	Cells          int                `json:"cells"`
+	Durable        bool               `json:"durable"`
+	StoredVersions []uint64           `json:"stored_versions,omitempty"`
+	StoredRecords  []recordJSON       `json:"stored_records,omitempty"`
+	Drift          *driftResponse     `json:"drift,omitempty"`
+	Replica        *replicaStatusJSON `json:"replica,omitempty"`
+}
+
+// replicaStatusJSON mirrors iupdater.ReplicaStatus over the wire: the
+// replication lag line of the fleet dashboard.
+type replicaStatusJSON struct {
+	Source        string `json:"source"`
+	Version       uint64 `json:"version"`
+	LeaderVersion uint64 `json:"leader_version"`
+	Lag           uint64 `json:"lag"`
+	Promoted      bool   `json:"promoted,omitempty"`
 }
 
 func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
@@ -462,6 +565,15 @@ func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
 	if sum.Drift != nil {
 		dr := driftJSON(*sum.Drift)
 		out.Drift = &dr
+	}
+	if sum.Replica != nil {
+		out.Replica = &replicaStatusJSON{
+			Source:        sum.Replica.Source,
+			Version:       sum.Replica.Version,
+			LeaderVersion: sum.Replica.LeaderVersion,
+			Lag:           sum.Replica.Lag,
+			Promoted:      sum.Replica.Promoted,
+		}
 	}
 	return out
 }
@@ -552,6 +664,37 @@ func checkSiteName(name string) error {
 	return nil
 }
 
+// followSpec is one -follow entry: a registry name and the leader
+// records URL the replica tails.
+type followSpec struct {
+	name string
+	url  string
+}
+
+// parseFollowSpecs parses the -follow flag ("name=url,name=url"). The
+// URL is required — a follower without a leader serves nothing.
+func parseFollowSpecs(spec string, taken map[string]bool) ([]followSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []followSpec
+	for _, part := range strings.Split(spec, ",") {
+		name, url, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || url == "" {
+			return nil, fmt.Errorf("-follow: %q: want name=records-url (e.g. branch=http://leader:8080/records)", part)
+		}
+		if err := checkSiteName(name); err != nil {
+			return nil, fmt.Errorf("-follow: %w", err)
+		}
+		if taken[name] {
+			return nil, fmt.Errorf("-follow: duplicate site %q", name)
+		}
+		taken[name] = true
+		out = append(out, followSpec{name: name, url: url})
+	}
+	return out, nil
+}
+
 // buildSite wires one site: a testbed for its environment, and either a
 // warm restart from its store directory (when dataDir is set and holds
 // snapshots) or a fresh survey persisted into it. Returns the site and
@@ -607,11 +750,20 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable snapshot root (one store directory per site); empty = in-memory")
 	retain := fs.Int("retain", 0, "snapshot versions retained per site store (0 = all)")
 	sitesFlag := fs.String("sites", "", "comma-separated name=env site list (default: one site 'default' on -env)")
+	followFlag := fs.String("follow", "", "comma-separated name=url read-only replica sites tailing a leader's records endpoint")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	specs, err := parseSiteSpecs(*sitesFlag, *envName)
+	if err != nil {
+		return err
+	}
+	taken := make(map[string]bool)
+	for _, spec := range specs {
+		taken[spec.name] = true
+	}
+	follows, err := parseFollowSpecs(*followFlag, taken)
 	if err != nil {
 		return err
 	}
@@ -659,6 +811,17 @@ func runServe(args []string) error {
 			return err
 		}
 	}
+	for _, spec := range follows {
+		rep, err := iupdater.OpenReplica(spec.url)
+		if err != nil {
+			return fmt.Errorf("site %s: %w", spec.name, err)
+		}
+		if err := s.addSite(newReplicaSite(spec.name, rep)); err != nil {
+			rep.Close()
+			return err
+		}
+		log.Printf("site %s: following %s (replica lag under GET /sites)", spec.name, spec.url)
+	}
 	if *monitorOn {
 		log.Printf("drift monitors enabled (GET /drift, GET /sites)")
 	}
@@ -671,6 +834,7 @@ func runServe(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: s.handler()}
+	srv.RegisterOnShutdown(s.cancelDrain)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("serving %d site(s) %v on %s (POST /locate|/update, GET /snapshot|/drift|/sites, POST /rollback; per-site under /sites/{name}/...)",

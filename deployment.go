@@ -271,6 +271,55 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 	return d, nil
 }
 
+// newDeploymentAt constructs a writer that continues an existing
+// version line: the initial snapshot is published in memory at exactly
+// version (not 1), so the next publish becomes version+1. Replica
+// promotion uses it to take over a leader's line without a gap.
+//
+// An attached store that is behind the takeover version is seeded with
+// a full snapshot at that version — the handover itself is durable
+// before the deployment becomes visible. A store already holding
+// versions beyond the takeover point is refused: it records a longer
+// history than the one being continued, and appending under it would
+// fork the line.
+func newDeploymentAt(fingerprints Matrix, g Geometry, version uint64, opts ...Option) (*Deployment, error) {
+	if version == 0 {
+		return nil, fmt.Errorf("iupdater: cannot continue a version line at version 0")
+	}
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if g.Links <= 0 || g.PerStrip <= 0 || g.WidthM <= 0 || g.HeightM <= 0 {
+		return nil, fmt.Errorf("iupdater: invalid geometry %+v", g)
+	}
+	if fingerprints.IsZero() {
+		return nil, fmt.Errorf("iupdater: empty fingerprint matrix")
+	}
+	grid := g.grid()
+	if r, c := fingerprints.Dims(); r != g.Links || c != grid.NumCells() {
+		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", r, c, g.Links, grid.NumCells())
+	}
+	d := &Deployment{
+		geo:  g,
+		grid: grid,
+		cfg:  cfg,
+		subs: make(map[uint64]chan *Snapshot),
+	}
+	snap := newSnapshot(version, fingerprints.Clone(), grid)
+	if cfg.store != nil {
+		if last := cfg.store.LatestVersion(); last > version {
+			return nil, fmt.Errorf("iupdater: store already holds version %d, beyond the takeover version %d", last, version)
+		} else if last < version {
+			if err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.snap.Store(snap)
+	return d, nil
+}
+
 // OpenDeployment warm-starts a Deployment from the latest snapshot in a
 // durable store: the fingerprint database, geometry and version number
 // are restored exactly as last published, so a restarted process serves

@@ -119,9 +119,13 @@
 // delta by resolving its chain back to the nearest full record and
 // replaying the deltas, so callers never see the encoding. Chains stay
 // bounded: WithMaxChain (default 16) forces a fresh full record once a
-// chain reaches the bound, a delta larger than half the full payload
-// is written as a full record instead, and compaction rebases a
-// retained suffix that would start mid-chain onto a fresh full record.
+// chain reaches the bound, and a delta larger than half the full
+// payload is written as a full record instead. Compaction re-encodes
+// the whole retained suffix against its new base — the first retained
+// version becomes a full record and every later one is re-deltaed
+// (under the same chain and size bounds), so even records originally
+// forced to full by the chain bound shrink back to their churn, and
+// post-compaction disk stays proportional to what actually changed.
 // Store.Records (surfaced per site by Fleet Summaries and the serve
 // API) reports each retained version's record kind and on-disk bytes.
 //
@@ -166,6 +170,44 @@
 // answers wrong-method hits with 405 and an Allow header. Sites are
 // declared with -sites name=env,...; -data-dir roots the per-site
 // stores and makes restarts warm; -retain bounds each store.
+//
+// # Replication — the record log as a wire protocol
+//
+// The millions-of-users read path scales out as leader/follower
+// replication, and the wire protocol is the store's record log itself:
+// Deployment.ServeRecords exposes GET .../records (per site in serve
+// mode: GET /sites/{name}/records), which streams the retained record
+// frames — full snapshots and changed-column deltas, in their exact
+// on-disk framing — from a requested version. The Replica type is the
+// follower: OpenReplica tails that endpoint (long-poll, resuming after
+// disconnects under capped exponential backoff with jitter), feeds
+// every frame through the same CRC recheck and delta structural
+// validation the store runs during crash recovery, and publishes each
+// materialized snapshot behind the same atomic pointer a Deployment
+// uses. Replica.Locate is therefore lock-free and bit-identical to the
+// leader's at the same version, and a torn, corrupted or replayed
+// frame is rejected without state change — the follower just re-polls
+// from its last applied version.
+//
+// Resume semantics: from=0 bootstraps at the leader's newest full
+// record (everything later resolves against it); from=V resumes after
+// V-1. A resume point older than the leader's compaction horizon
+// answers 410 Gone, telling the follower its chain is gone for good —
+// it re-bootstraps from the newest full record, as does a follower
+// whose applies keep failing (divergent local state). The leader's
+// durability contract is unchanged by replication: followers only read
+// the log, fsync-before-visibility still happens on the leader's write
+// path, and a follower holds no disk state while following.
+//
+// A follower registers in a Fleet with AddReplica (replication lag
+// shows in Summaries and under GET /sites; mutating routes answer 409),
+// and serve mode attaches one with -follow name=url (or the dedicated
+// replicate mode). Replica.Promote turns the follower into the writer
+// when the leader retires: following stops, and the returned
+// Deployment continues the same monotone version line from the exact
+// takeover version — seeding an attached store with a full snapshot at
+// that version first, so the handover itself is durable. Promotion is
+// one-way and at-most-once; there is deliberately no leader election.
 //
 // # Update-path performance
 //

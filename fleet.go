@@ -25,25 +25,50 @@ type Fleet struct {
 	closed bool
 }
 
-// Site is one named deployment registered in a Fleet.
+// Site is one named deployment registered in a Fleet — a writer added
+// with Add, or a read-only follower added with AddReplica.
 type Site struct {
 	name string
 	dep  *Deployment
 	mon  *Monitor
+	rep  *Replica
 }
 
 // Name returns the site's registry name.
 func (s *Site) Name() string { return s.name }
 
-// Deployment returns the site's deployment.
+// Deployment returns the site's deployment, nil for a replica site
+// (whose serving state lives in Replica).
 func (s *Site) Deployment() *Deployment { return s.dep }
 
 // Monitor returns the site's drift monitor, nil if the site runs
 // without one.
 func (s *Site) Monitor() *Monitor { return s.mon }
 
+// Replica returns the site's follower, nil for a writer site.
+func (s *Site) Replica() *Replica { return s.rep }
+
 // Summary returns the site's point-in-time serving state.
 func (s *Site) Summary() SiteSummary {
+	if s.rep != nil {
+		status := s.rep.Status()
+		sum := SiteSummary{
+			Name:    s.name,
+			Version: status.Version,
+			Replica: &status,
+		}
+		// Geometry is learned from the first applied snapshot; before
+		// that the replica has no serving shape to report.
+		if g, ok := s.rep.geometry(); ok {
+			sum.Links, sum.Cells = g.Links, g.NumCells()
+		}
+		if st := s.rep.storeRef(); st != nil {
+			sum.Durable = true
+			sum.StoredVersions = st.Versions()
+			sum.StoredRecords = st.Records()
+		}
+		return sum
+	}
 	sum := SiteSummary{
 		Name:    s.name,
 		Version: s.dep.Version(),
@@ -85,6 +110,9 @@ type SiteSummary struct {
 	StoredRecords []RecordInfo
 	// Drift carries the monitor counters, nil for unmonitored sites.
 	Drift *MonitorStats
+	// Replica carries the replication state (source, applied and leader
+	// versions, lag), nil for writer sites.
+	Replica *ReplicaStatus
 }
 
 // NewFleet returns an empty fleet.
@@ -113,6 +141,30 @@ func (f *Fleet) Add(name string, d *Deployment, mon *Monitor) (*Site, error) {
 		return nil, fmt.Errorf("iupdater: site %q already registered", name)
 	}
 	site := &Site{name: name, dep: d, mon: mon}
+	f.sites[name] = site
+	return site, nil
+}
+
+// AddReplica registers a read-only follower site under a unique name
+// (same naming rule as Add). The fleet takes over lifecycle: Close
+// stops the replica's tailer and closes its attached store (if any).
+// The replica shows up in Summaries with its replication lag.
+func (f *Fleet) AddReplica(name string, r *Replica) (*Site, error) {
+	if r == nil {
+		return nil, errors.New("iupdater: Fleet.AddReplica: nil replica")
+	}
+	if err := checkSiteName(name); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errors.New("iupdater: Fleet.AddReplica: fleet is closed")
+	}
+	if _, ok := f.sites[name]; ok {
+		return nil, fmt.Errorf("iupdater: site %q already registered", name)
+	}
+	site := &Site{name: name, rep: r}
 	f.sites[name] = site
 	return site, nil
 }
@@ -193,7 +245,16 @@ func (f *Fleet) Close() error {
 		if s.mon != nil {
 			s.mon.Close()
 		}
-		if st := s.dep.Store(); st != nil {
+		var st *Store
+		if s.rep != nil {
+			// Stop tailing before closing the store a promotion may have
+			// attached to the version line.
+			s.rep.Close()
+			st = s.rep.storeRef()
+		} else {
+			st = s.dep.Store()
+		}
+		if st != nil {
 			if err := st.Close(); err != nil {
 				errs = append(errs, fmt.Errorf("site %s: %w", s.name, err))
 			}

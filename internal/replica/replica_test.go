@@ -1,0 +1,239 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"iupdater/internal/store"
+)
+
+// frameSet builds real record frames by round-tripping payloads
+// through a store, keyed by version — the tests then serve them from
+// scripted handlers.
+func frameSet(t *testing.T, versions ...uint64) map[uint64][]byte {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, v := range versions {
+		payload := make([]byte, 64)
+		for i := range payload {
+			payload[i] = byte(v) + byte(i)
+		}
+		if err := st.Append(v, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, err := st.RecordFramesFrom(versions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint64][]byte, len(frames))
+	for i, f := range frames {
+		out[versions[i]] = f
+	}
+	return out
+}
+
+// runTailer starts a tailer against url with test-speed backoff,
+// streaming applied versions into the returned channel until cleanup.
+func runTailer(t *testing.T, url string) <-chan uint64 {
+	t.Helper()
+	applied := make(chan uint64, 64)
+	tl, err := New(Config{
+		URL: url,
+		Apply: func(version uint64, _ store.Kind, _ []byte) error {
+			applied <- version
+			return nil
+		},
+		Wait:       50 * time.Millisecond,
+		MinBackoff: time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tl.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return applied
+}
+
+func waitApplied(t *testing.T, ch <-chan uint64, want uint64) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case v := <-ch:
+			if v == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("version %d never applied", want)
+		}
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{Apply: func(uint64, store.Kind, []byte) error { return nil }}); err == nil {
+		t.Error("missing URL accepted")
+	}
+	if _, err := New(Config{URL: "http://x/records"}); err == nil {
+		t.Error("missing Apply accepted")
+	}
+}
+
+// TestTailerRetriesTransportErrors: server failures delay, but never
+// stop, the tailer; the stream lands once the leader recovers.
+func TestTailerRetriesTransportErrors(t *testing.T) {
+	frames := frameSet(t, 1)
+	var mu sync.Mutex
+	reqs := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		reqs++
+		n := reqs
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "leader mid-restart", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Iupdater-Leader-Version", "1")
+		w.Write(frames[1])
+	}))
+	defer srv.Close()
+	applied := runTailer(t, srv.URL)
+	waitApplied(t, applied, 1)
+	mu.Lock()
+	defer mu.Unlock()
+	if reqs < 3 {
+		t.Fatalf("only %d requests reached the leader", reqs)
+	}
+}
+
+// TestTailerRebootstrapsAfter410: a resume point the leader compacted
+// away turns into a fresh bootstrap from the newest full record.
+func TestTailerRebootstrapsAfter410(t *testing.T) {
+	frames := frameSet(t, 3, 8)
+	var mu sync.Mutex
+	var gone int
+	var bootstraps []uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case from == 0 && len(bootstraps) == 0:
+			bootstraps = append(bootstraps, from)
+			w.Header().Set("Iupdater-Leader-Version", "3")
+			w.Write(frames[3])
+		case from == 4:
+			// The follower's resume point fell behind the horizon.
+			gone++
+			w.Header().Set("Iupdater-Oldest-Version", "8")
+			http.Error(w, "compacted", http.StatusGone)
+		case from == 0:
+			bootstraps = append(bootstraps, from)
+			w.Header().Set("Iupdater-Leader-Version", "8")
+			w.Write(frames[8])
+		default:
+			// Caught up after the re-bootstrap: empty 200.
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+	applied := runTailer(t, srv.URL)
+	waitApplied(t, applied, 3)
+	waitApplied(t, applied, 8)
+	mu.Lock()
+	defer mu.Unlock()
+	if gone == 0 || len(bootstraps) != 2 {
+		t.Fatalf("410s %d, bootstraps %v: want a second bootstrap after the 410", gone, bootstraps)
+	}
+}
+
+// TestTailerRebootstrapsAfterApplyFailureStreak: a frame that keeps
+// failing local validation is retried a bounded number of times, then
+// the tailer starts over from a full record instead of spinning.
+func TestTailerRebootstrapsAfterApplyFailureStreak(t *testing.T) {
+	frames := frameSet(t, 1, 7)
+	corrupt := append([]byte(nil), frames[7]...)
+	corrupt[len(corrupt)-1] ^= 0xFF // payload bit rot: CRC check must reject
+	var mu sync.Mutex
+	var corruptServes int
+	var rebootstrapped bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Iupdater-Leader-Version", "7")
+		switch {
+		case from == 0 && !rebootstrapped:
+			w.Write(frames[1])
+		case from == 2:
+			corruptServes++
+			if corruptServes >= applyFailureThreshold {
+				rebootstrapped = true
+			}
+			w.Write(corrupt)
+		case from == 0:
+			w.Write(frames[7])
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+	applied := runTailer(t, srv.URL)
+	waitApplied(t, applied, 1)
+	waitApplied(t, applied, 7)
+	mu.Lock()
+	defer mu.Unlock()
+	if corruptServes != applyFailureThreshold {
+		t.Fatalf("corrupt frame served %d times, want exactly %d before re-bootstrap", corruptServes, applyFailureThreshold)
+	}
+}
+
+// TestTailerLongPollPicksUpPublish: a caught-up tailer parked in a
+// long poll receives a record published mid-wait without a new
+// request per version.
+func TestTailerLongPollPicksUpPublish(t *testing.T) {
+	frames := frameSet(t, 1, 2)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		switch from {
+		case 0:
+			w.Header().Set("Iupdater-Leader-Version", "1")
+			w.Write(frames[1])
+		case 2:
+			// Hold the long poll briefly — the record "publishes"
+			// mid-wait and is streamed on the same response.
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+			w.Header().Set("Iupdater-Leader-Version", "2")
+			w.Write(frames[2])
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+	applied := runTailer(t, srv.URL)
+	waitApplied(t, applied, 1)
+	waitApplied(t, applied, 2)
+}

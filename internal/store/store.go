@@ -175,6 +175,10 @@ type Store struct {
 	// populated lazily on the first delta-eligible append and kept
 	// current by every append.
 	last []byte
+	// layout remembers the most recent AppendDelta layout so compaction
+	// can re-delta the retained suffix with the same chunking.
+	layout   Layout
+	layoutOK bool
 }
 
 // Open opens (creating if needed) the store directory and recovers the
@@ -436,6 +440,7 @@ func (s *Store) AppendDelta(version uint64, payload []byte, layout Layout) (Kind
 	if err := s.appendChecksLocked(version); err != nil {
 		return KindFull, err
 	}
+	s.layout, s.layoutOK = layout, true
 	kind := KindFull
 	rec := s.encodeDeltaLocked(version, payload, layout)
 	if rec != nil {
@@ -483,14 +488,24 @@ func (s *Store) encodeDeltaLocked(version uint64, payload []byte, layout Layout)
 		}
 		s.last = prev
 	}
-	if len(s.last) != len(payload) {
+	return encodeDeltaRecord(version, payload, s.last, s.idx[len(s.idx)-1].version, layout)
+}
+
+// encodeDeltaRecord diffs payload against prev (the materialized payload
+// of baseVersion) under the layout and returns a complete framed delta
+// record, or nil when a delta is not worthwhile: the lengths differ, the
+// layout does not tile the payload, or the encoded delta would exceed
+// half the full payload.
+func encodeDeltaRecord(version uint64, payload, prev []byte, baseVersion uint64, layout Layout) []byte {
+	hlen, chunk := layout.HeaderLen, layout.ChunkSize
+	if len(prev) != len(payload) || chunk <= 0 || hlen < 0 || hlen > len(payload) ||
+		(len(payload)-hlen)%chunk != 0 {
 		return nil
 	}
-	hlen, chunk := layout.HeaderLen, layout.ChunkSize
 	nchunks := (len(payload) - hlen) / chunk
 	changed := make([]int, 0, nchunks)
 	for k := 0; k < nchunks; k++ {
-		if !bytes.Equal(payload[hlen+k*chunk:hlen+(k+1)*chunk], s.last[hlen+k*chunk:hlen+(k+1)*chunk]) {
+		if !bytes.Equal(payload[hlen+k*chunk:hlen+(k+1)*chunk], prev[hlen+k*chunk:hlen+(k+1)*chunk]) {
 			changed = append(changed, k)
 		}
 	}
@@ -500,7 +515,7 @@ func (s *Store) encodeDeltaLocked(version uint64, payload []byte, layout Layout)
 	}
 	rec := make([]byte, headerSize+deltaLen)
 	buf := rec[headerSize:]
-	binary.LittleEndian.PutUint64(buf[0:8], s.idx[len(s.idx)-1].version)
+	binary.LittleEndian.PutUint64(buf[0:8], baseVersion)
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(hlen))
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(chunk))
@@ -668,10 +683,13 @@ func (s *Store) Compact() error {
 }
 
 // compactLocked rewrites the retained suffix to a temp file and renames
-// it over the log. A retained suffix that starts with a delta record is
-// rebased: that version is materialized and written as a fresh full
-// record (its base is being dropped); later records — whose deltas
-// resolve against retained predecessors — copy over verbatim. On any
+// it over the log. The suffix is re-encoded against its new history, not
+// copied verbatim: the first retained version is always written as a
+// full record (its base may be about to drop), and every later version
+// is re-deltaed against its new predecessor under the usual chain-bound
+// and half-size rules — so a full record that was only forced by a
+// since-dropped chain shrinks back to a delta, and post-compaction disk
+// stays proportional to churn rather than to compaction history. On any
 // error the original log and index are kept.
 func (s *Store) compactLocked() error {
 	if s.opts.Retain <= 0 || len(s.idx) <= s.opts.Retain {
@@ -679,6 +697,7 @@ func (s *Store) compactLocked() error {
 	}
 	first := len(s.idx) - s.opts.Retain
 	keep := s.idx[first:]
+	layout, layoutOK := s.compactionLayoutLocked(keep)
 	logPath := filepath.Join(s.dir, logName)
 	tmpPath := logPath + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -692,38 +711,57 @@ func (s *Store) compactLocked() error {
 	}
 	newIdx := make([]indexEntry, 0, len(keep))
 	var off int64
-	var buf []byte
+	var prev []byte
+	var prevVersion uint64
+	chain := 0
 	for i, e := range keep {
-		if i == 0 && e.kind == KindDelta {
-			// Rebase onto a fresh full record.
-			payload, err := s.readChainLocked(first)
+		// Materialize this version: the first via the existing chain
+		// resolution, later ones by advancing the running payload (a
+		// delta patches a copy of its predecessor, a full replaces it).
+		var cur []byte
+		if i == 0 {
+			cur, err = s.readChainLocked(first)
 			if err != nil {
 				return fail(err)
 			}
-			rec := frameRecord(recordMagic, e.version, payload)
-			if _, err := tmp.WriteAt(rec, off); err != nil {
+		} else {
+			raw, err := s.readLocked(e)
+			if err != nil {
 				return fail(err)
 			}
-			newIdx = append(newIdx, indexEntry{
-				version: e.version, off: off, plen: uint32(len(payload)),
-				kind: KindFull, mlen: uint32(len(payload)),
-			})
-			off += int64(len(rec))
-			continue
+			if e.kind == KindDelta {
+				if !validDelta(raw, prevVersion, uint32(len(prev))) {
+					return fail(fmt.Errorf("version %d delta record no longer matches its base", e.version))
+				}
+				cur = append([]byte(nil), prev...)
+				applyDelta(cur, raw)
+			} else {
+				cur = raw
+			}
 		}
-		n := headerSize + int(e.plen)
-		if len(buf) < n {
-			buf = make([]byte, n)
+		// Re-encode: first record full, the rest delta when the layout is
+		// known, the chain is within bound and the delta is worthwhile.
+		var rec []byte
+		kind := KindFull
+		if i > 0 && layoutOK && chain < s.maxChain() {
+			rec = encodeDeltaRecord(e.version, cur, prev, prevVersion, layout)
 		}
-		if _, err := s.f.ReadAt(buf[:n], e.off); err != nil {
+		if rec != nil {
+			kind = KindDelta
+			chain++
+		} else {
+			rec = frameRecord(recordMagic, e.version, cur)
+			chain = 0
+		}
+		if _, err := tmp.WriteAt(rec, off); err != nil {
 			return fail(err)
 		}
-		if _, err := tmp.WriteAt(buf[:n], off); err != nil {
-			return fail(err)
-		}
-		e.off = off
-		newIdx = append(newIdx, e)
-		off += int64(n)
+		newIdx = append(newIdx, indexEntry{
+			version: e.version, off: off, plen: uint32(len(rec) - headerSize),
+			kind: kind, mlen: uint32(len(cur)),
+		})
+		off += int64(len(rec))
+		prev, prevVersion = cur, e.version
 	}
 	if !s.opts.NoSync {
 		if err := tmp.Sync(); err != nil {
@@ -744,6 +782,32 @@ func (s *Store) compactLocked() error {
 		}
 	}
 	return nil
+}
+
+// compactionLayoutLocked resolves the chunk layout compaction re-deltas
+// with: the layout of the latest AppendDelta when one happened this
+// store life, else the layout recorded inside a retained delta record
+// (a delta payload states its own header length and chunk size). A
+// store that never saw a delta has nothing to re-delta — compaction
+// then writes full records only.
+func (s *Store) compactionLayoutLocked(keep []indexEntry) (Layout, bool) {
+	if s.layoutOK {
+		return s.layout, true
+	}
+	for _, e := range keep {
+		if e.kind != KindDelta {
+			continue
+		}
+		raw, err := s.readLocked(e)
+		if err != nil || len(raw) < deltaHeaderSize {
+			continue
+		}
+		return Layout{
+			HeaderLen: int(binary.LittleEndian.Uint32(raw[12:16])),
+			ChunkSize: int(binary.LittleEndian.Uint32(raw[16:20])),
+		}, true
+	}
+	return Layout{}, false
 }
 
 // SaveState atomically replaces the named auxiliary state blob

@@ -1,0 +1,239 @@
+package iupdater
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// replicaGeometry is a small but non-trivial layout for replication
+// tests: 4 links x 24 cells per strip = 96 fingerprint columns.
+var replicaGeometry = Geometry{WidthM: 8, HeightM: 4, Links: 4, PerStrip: 24}
+
+// replicaMatrix builds a deterministic fingerprint matrix for the test
+// geometry, varied by seed so successive versions differ.
+func replicaMatrix(seed int) Matrix {
+	g := replicaGeometry
+	rows := make([][]float64, g.Links)
+	for i := range rows {
+		rows[i] = make([]float64, g.NumCells())
+		for j := range rows[i] {
+			rows[i][j] = -40 - float64((i*31+j*7+seed*13)%200)/10
+		}
+	}
+	m, err := MatrixFromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// perturbColumn returns m with a single fingerprint column nudged —
+// small enough churn that the store persists the publish as a delta
+// record.
+func perturbColumn(m Matrix, col int, by float64) Matrix {
+	out := m.Clone()
+	rows := out.ToRows()
+	for i := range rows {
+		rows[i][col] += by
+	}
+	p, err := MatrixFromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func openReplicaLeader(t *testing.T) (*Deployment, *httptest.Server) {
+	t.Helper()
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(replicaMatrix(0), replicaGeometry, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(d.ServeRecords())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func fastReplica(t *testing.T, url string, opts ...ReplicaOption) *Replica {
+	t.Helper()
+	opts = append([]ReplicaOption{
+		WithReplicaWait(150 * time.Millisecond),
+		WithReplicaBackoff(2*time.Millisecond, 25*time.Millisecond),
+	}, opts...)
+	rep, err := OpenReplica(url, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	return rep
+}
+
+// TestReplicationEndToEnd is the leader/follower acceptance hammer
+// (run under -race in CI): a follower tails a leader through a mixed
+// full/delta version line and serves bit-identical snapshots at every
+// version, survives a forced mid-line disconnect, and after Promote
+// continues the same version line as a writer.
+func TestReplicationEndToEnd(t *testing.T) {
+	d, srv := openReplicaLeader(t)
+	repStore, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repStore.Close()
+	rep := fastReplica(t, srv.URL, WithReplicaStore(repStore))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// checkSync publishes nothing itself: it waits for the follower to
+	// reach the leader's version and demands bit-identity.
+	checkSync := func(t *testing.T) {
+		t.Helper()
+		want := d.Snapshot()
+		got, err := rep.WaitVersion(ctx, want.Version())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Version() != want.Version() {
+			t.Fatalf("follower at v%d, leader at v%d", got.Version(), want.Version())
+		}
+		if !matricesEqual(got.Fingerprints(), want.Fingerprints()) {
+			t.Fatalf("follower snapshot v%d is not bit-identical to the leader's", got.Version())
+		}
+		// Localization, not just the raw matrix, must agree: both sides
+		// built their localizer from the same published bits.
+		rss := []float64{-48.5, -51.25, -47, -52.125}
+		lp, lerr := d.Locate(rss)
+		fp, ferr := rep.Locate(rss)
+		if lerr != nil || ferr != nil || lp != fp {
+			t.Fatalf("Locate diverged: leader (%v, %v) follower (%v, %v)", lp, lerr, fp, ferr)
+		}
+	}
+	checkSync(t)
+
+	// A mixed version line: single-column perturbations persist as
+	// delta records, wholesale installs as full records. The follower
+	// is checked at every version, concurrently with the next publish
+	// being prepared.
+	cur := replicaMatrix(0)
+	for v := 2; v <= 6; v++ {
+		if v == 4 {
+			cur = replicaMatrix(v) // wholesale change -> full record
+		} else {
+			cur = perturbColumn(cur, (v*11)%replicaGeometry.NumCells(), 0.5)
+		}
+		if _, err := d.Install(cur); err != nil {
+			t.Fatal(err)
+		}
+		checkSync(t)
+	}
+	kinds := make(map[string]int)
+	for _, rec := range d.Store().Records() {
+		kinds[rec.Kind]++
+	}
+	if kinds["full"] < 2 || kinds["delta"] < 2 {
+		t.Fatalf("version line was not mixed: %v", kinds)
+	}
+
+	// Forced disconnect: kill every follower connection mid-long-poll,
+	// publish while the follower is down, and require it to resume.
+	srv.CloseClientConnections()
+	cur = perturbColumn(cur, 3, -0.25)
+	if _, err := d.Install(cur); err != nil {
+		t.Fatal(err)
+	}
+	checkSync(t)
+
+	if lag := rep.Lag(); lag != 0 {
+		t.Fatalf("caught-up lag %d", lag)
+	}
+
+	// Promote: the old leader stops, the follower takes over the line.
+	takeover := rep.Version()
+	srv.Close()
+	promoted, err := rep.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Version() != takeover {
+		t.Fatalf("promoted at v%d, follower was at v%d", promoted.Version(), takeover)
+	}
+	// The handover was made durable in the replica's own store...
+	if got := repStore.LatestVersion(); got != takeover {
+		t.Fatalf("replica store seeded at v%d, want v%d", got, takeover)
+	}
+	fp, g, err := repStore.SnapshotAt(takeover)
+	if err != nil || g != replicaGeometry || !matricesEqual(fp, d.Snapshot().Fingerprints()) {
+		t.Fatalf("seeded takeover snapshot mismatch (err %v)", err)
+	}
+	// ...and the next publish continues the same monotone line.
+	next, err := promoted.Install(perturbColumn(cur, 9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() != takeover+1 {
+		t.Fatalf("post-promotion publish v%d, want v%d", next.Version(), takeover+1)
+	}
+	if got := repStore.LatestVersion(); got != takeover+1 {
+		t.Fatalf("store after post-promotion publish at v%d", got)
+	}
+	if _, err := rep.Promote(); err == nil {
+		t.Fatal("second Promote succeeded")
+	}
+	if status := rep.Status(); !status.Promoted || status.Version != takeover+1 {
+		t.Fatalf("post-promotion status %+v", status)
+	}
+}
+
+// TestReplicaFleetSite registers a follower in a Fleet: the summary
+// carries the replication status, and Close tears the tailer down.
+func TestReplicaFleetSite(t *testing.T) {
+	d, srv := openReplicaLeader(t)
+	rep := fastReplica(t, srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := rep.WaitVersion(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFleet()
+	site, err := f.AddReplica("branch", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Deployment() != nil || site.Replica() != rep {
+		t.Fatal("replica site should expose the replica, not a deployment")
+	}
+	if _, err := f.AddReplica("branch", rep); err == nil {
+		t.Fatal("duplicate AddReplica succeeded")
+	}
+	sums := f.Summaries()
+	if len(sums) != 1 || sums[0].Replica == nil {
+		t.Fatalf("summaries %+v", sums)
+	}
+	if sums[0].Replica.Source != srv.URL || sums[0].Version != 1 {
+		t.Fatalf("replica summary %+v", sums[0].Replica)
+	}
+	if sums[0].Links != replicaGeometry.Links || sums[0].Cells != replicaGeometry.NumCells() {
+		t.Fatalf("summary geometry %d/%d", sums[0].Links, sums[0].Cells)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The fleet stopped the tailer; a leader publish no longer
+	// propagates.
+	if _, err := d.Install(replicaMatrix(9)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if v := rep.Version(); v != 1 {
+		t.Fatalf("closed replica advanced to v%d", v)
+	}
+}

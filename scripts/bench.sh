@@ -28,11 +28,14 @@
 #	StoreAppendDelta         <=      8  (~1-3 measured: the framed delta
 #	                                     record + diff scratch; cache and
 #	                                     index growth amortize)
+#	ReplicaApply             <=      4  (0 measured: the follower's
+#	                                     validate-and-apply path reuses
+#	                                     its payload buffer steady-state)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta' \
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply' \
 	-benchtime "$benchtime" -benchmem "$@" . ./internal/store)"
 echo "$out"
 
@@ -61,6 +64,7 @@ BEGIN {
 	budget["BenchmarkMonitorObserve"] = 2
 	budget["BenchmarkStoreAppendLoad"] = 12
 	budget["BenchmarkStoreAppendDelta"] = 8
+	budget["BenchmarkReplicaApply"] = 4
 	failures = 0
 }
 /^Benchmark/ {
