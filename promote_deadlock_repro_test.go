@@ -1,0 +1,76 @@
+package iupdater
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPromoteUnderActiveStream(t *testing.T) {
+	g := Geometry{WidthM: 64, HeightM: 32, Links: 32, PerStrip: 64}
+	mk := func(seed int) Matrix {
+		rows := make([][]float64, g.Links)
+		for i := range rows {
+			rows[i] = make([]float64, g.NumCells())
+			for j := range rows[i] {
+				rows[i][j] = -40 - float64((i*31+j*7+seed*13)%200)/10
+			}
+		}
+		m, err := MatrixFromRows(rows)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := NewDeployment(mk(0), g, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.ServeRecords())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.Install(mk(i)); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() { close(stop); <-pubDone }()
+
+	for attempt := 0; attempt < 40; attempt++ {
+		rep, err := OpenReplica(srv.URL,
+			WithReplicaWait(100*time.Millisecond),
+			WithReplicaBackoff(time.Millisecond, 10*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep.Version() == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rep.Promote()
+		}()
+		select {
+		case <-done:
+			rep.Close()
+		case <-time.After(10 * time.Second):
+			t.Fatalf("attempt %d: Promote deadlocked while the tailer was applying records", attempt)
+		}
+	}
+}
