@@ -13,6 +13,8 @@ package iupdater_test
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -485,6 +487,94 @@ func BenchmarkMonitorObserve(b *testing.B) {
 		if err := m.Observe(batch[i%len(batch)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// largeGridDeployment builds a synthetic campus-scale deployment (8
+// links, perStrip cells per strip — perStrip 120 is 10x the office
+// grid's 96 cells, 1200 is 100x) plus a battery of online-like queries:
+// a smooth per-link shadowing dip over the cell position with small
+// seeded noise, so neighboring columns correlate the way real RSS
+// fingerprints do.
+func largeGridDeployment(b *testing.B, perStrip int, opts ...iupdater.Option) (*iupdater.Deployment, [][]float64) {
+	b.Helper()
+	const links = 8
+	g := iupdater.Geometry{WidthM: 12, HeightM: 9, Links: links, PerStrip: perStrip}
+	n := g.NumCells()
+	rows := make([][]float64, links)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for j := 0; j < n; j++ {
+		cx := (float64(j%perStrip) + 0.5) * g.WidthM / float64(perStrip)
+		cy := (float64(j/perStrip) + 0.5) * g.HeightM / float64(links)
+		for i := 0; i < links; i++ {
+			linkY := (float64(i) + 0.5) * g.HeightM / links
+			dy := cy - linkY
+			rows[i][j] = -42 - 9*math.Exp(-dy*dy/1.8) - 0.4*math.Sin(0.9*cx+float64(i)) + 0.15*rng.NormFloat64()
+		}
+	}
+	m, err := iupdater.MatrixFromRows(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := iupdater.NewDeployment(m, g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, 64)
+	for k := range queries {
+		j := (k * 149) % n
+		y := make([]float64, links)
+		for i := range y {
+			y[i] = rows[i][j] + 0.3*rng.NormFloat64()
+		}
+		queries[k] = y
+	}
+	return d, queries
+}
+
+// BenchmarkLocateLargeGrid measures the serving hot path on 10x and
+// 100x office-sized grids under each search tier of the snapshot-time
+// locate index. Alongside allocs/op (budget <= 2, enforced by
+// scripts/bench.sh) it reports col_evals/op — the number of full
+// column-distance/correlation evaluations per Locate, read from the
+// snapshot's SearchStats counters — so the sub-linear claim is measured,
+// not asserted: compare the 100x-sharded and 100x-exact arms.
+func BenchmarkLocateLargeGrid(b *testing.B) {
+	arms := []struct {
+		name     string
+		perStrip int
+		opts     []iupdater.Option
+	}{
+		{"10x", 120, nil},
+		{"100x", 1200, nil},
+		{"100x-sharded", 1200, []iupdater.Option{iupdater.WithShardedSearch(0)}},
+		{"100x-exact", 1200, []iupdater.Option{iupdater.WithExactSearch()}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			d, queries := largeGridDeployment(b, arm.perStrip, arm.opts...)
+			// Warm the per-query scratch pool so b.N iterations measure
+			// the steady state.
+			for _, y := range queries {
+				if _, err := d.Locate(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := d.Snapshot().SearchStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Locate(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := d.Snapshot().SearchStats()
+			b.ReportMetric(float64(st.ColumnEvals-start.ColumnEvals)/float64(b.N), "col_evals/op")
+		})
 	}
 }
 

@@ -55,6 +55,7 @@ type config struct {
 	workers    int
 	updateConc int
 	store      *Store
+	search     loc.IndexConfig
 }
 
 // WithReferenceCount overrides the number of reference locations (default:
@@ -99,6 +100,34 @@ func WithUpdateConcurrency(n int) Option {
 	return func(c *config) { c.updateConc = n }
 }
 
+// WithExactSearch forces every snapshot's locate index to the bit-exact
+// exhaustive reference scan: no shard routing, no candidate pruning,
+// every fingerprint column evaluated per query. The default (pruned)
+// search already returns bit-identical results — including tie-breaks —
+// while touching fewer columns, so this option exists for A/B
+// verification and as the ground truth the pruned and sharded tiers are
+// tested against, not because the default trades accuracy.
+func WithExactSearch() Option {
+	return func(c *config) { c.search.Mode = loc.SearchExact }
+}
+
+// WithShardedSearch switches every snapshot's locate index to the
+// approximate coarse-to-fine tier: each query is routed to the fanout
+// most promising column shards (contiguous grid-cell blocks) and only
+// their columns are evaluated, making query cost nearly independent of
+// the grid size. Results can differ from exact search when the true
+// best column lies outside the routed shards; on the evaluation
+// scenarios the mean localization-error degradation is within 0.1 dB of
+// exact at fanout 4 (the default for fanout <= 0) — see the package
+// documentation for the accuracy budget. Drift monitoring is
+// unaffected: the residual always uses an exact tier.
+func WithShardedSearch(fanout int) Option {
+	return func(c *config) {
+		c.search.Mode = loc.SearchSharded
+		c.search.Fanout = fanout
+	}
+}
+
 // WithStore attaches a durable snapshot store: every published snapshot
 // (the initial database, each Update/Install/auto-update, rollbacks) is
 // written and fsynced to the store before it becomes visible to queries,
@@ -127,17 +156,48 @@ func WithStore(st *Store) Option {
 type Snapshot struct {
 	version uint64
 	fp      Matrix
+	ix      *loc.Index
 	omp     *loc.OMPPoint
 	grid    geom.Grid
 }
 
-func newSnapshot(version uint64, fp Matrix, grid geom.Grid) *Snapshot {
+// newSnapshot builds the snapshot's locate index once, on the write
+// path, and shares it between the OMP localizer and (via the monitor)
+// the drift residualizer. The index reads the matrix's column-major
+// storage directly, so no intermediate dense copy is made.
+func newSnapshot(version uint64, fp Matrix, grid geom.Grid, search loc.IndexConfig) *Snapshot {
+	ix := loc.NewIndexCols(fp.rows, fp.cols, func(j int, dst []float64) {
+		copy(dst, fp.ColView(j))
+	}, grid.PerStrip, search)
 	return &Snapshot{
 		version: version,
 		fp:      fp,
-		omp:     loc.NewOMPPoint(fp.dense(), grid, loc.OMPConfig{}),
+		ix:      ix,
+		omp:     loc.NewOMPPointIndex(ix, grid, loc.OMPConfig{}),
 		grid:    grid,
 	}
+}
+
+// SearchStats are cumulative counters of the candidate-search work a
+// snapshot's locate index has performed, for observability and
+// benchmarking. ColumnEvals counts full column distance/correlation
+// evaluations — the exhaustive reference costs one per fingerprint
+// column per search, the pruned and sharded tiers fewer.
+type SearchStats struct {
+	// Queries is the number of candidate searches answered.
+	Queries uint64
+	// ColumnEvals is the number of full column evaluations performed.
+	ColumnEvals uint64
+	// ShardEvals is the number of coarse shard-routing evaluations
+	// performed.
+	ShardEvals uint64
+}
+
+// SearchStats returns the snapshot's cumulative locate-index counters.
+// Safe for concurrent use.
+func (s *Snapshot) SearchStats() SearchStats {
+	st := s.ix.Stats()
+	return SearchStats{Queries: st.Queries, ColumnEvals: st.ColumnEvals, ShardEvals: st.ShardEvals}
 }
 
 // Version returns the snapshot's monotonically increasing version number.
@@ -261,7 +321,7 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 	if cfg.store != nil {
 		version = cfg.store.LatestVersion() + 1
 	}
-	snap := newSnapshot(version, fingerprints.Clone(), grid)
+	snap := newSnapshot(version, fingerprints.Clone(), grid, cfg.search)
 	if cfg.store != nil {
 		if err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
 			return nil, err
@@ -306,7 +366,7 @@ func newDeploymentAt(fingerprints Matrix, g Geometry, version uint64, opts ...Op
 		cfg:  cfg,
 		subs: make(map[uint64]chan *Snapshot),
 	}
-	snap := newSnapshot(version, fingerprints.Clone(), grid)
+	snap := newSnapshot(version, fingerprints.Clone(), grid, cfg.search)
 	if cfg.store != nil {
 		if last := cfg.store.LatestVersion(); last > version {
 			return nil, fmt.Errorf("iupdater: store already holds version %d, beyond the takeover version %d", last, version)
@@ -351,7 +411,7 @@ func OpenDeployment(st *Store, opts ...Option) (*Deployment, error) {
 		subs: make(map[uint64]chan *Snapshot),
 	}
 	// fp was decoded into fresh storage, so no defensive clone is needed.
-	d.snap.Store(newSnapshot(version, fp, grid))
+	d.snap.Store(newSnapshot(version, fp, grid, cfg.search))
 	return d, nil
 }
 
@@ -558,7 +618,7 @@ func (d *Deployment) Refresh() error {
 // record), swaps the snapshot in and notifies subscribers. d.mu must be
 // held.
 func (d *Deployment) publishLocked(fp Matrix) (*Snapshot, error) {
-	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid)
+	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid, d.cfg.search)
 	if d.cfg.store != nil {
 		if err := d.cfg.store.appendSnapshot(snap.version, d.geo, snap.fp); err != nil {
 			return nil, err

@@ -209,6 +209,58 @@
 // that version first, so the handover itself is durable. Promotion is
 // one-way and at-most-once; there is deliberately no leader election.
 //
+// # Query-path performance — the snapshot-time locate index
+//
+// Every Snapshot carries a precomputed locate index (internal/loc's
+// Index type), built once on the serialized publish path and published
+// behind the same atomic pointer as the fingerprints, so queries read
+// it lock-free and never pay index construction. The index stores three
+// views of the M x N matrix — raw columns (nearest-column and KNN
+// matching), mean-centered columns (the drift residual), and centered
+// unit-norm columns (OMP correlation) — each with per-column norms and
+// per-shard centroid/radius summaries over contiguous strip-aligned
+// column blocks.
+//
+// Three search tiers share that layout:
+//
+//   - The default pruned tier returns bit-identical results to an
+//     exhaustive scan (including tie-breaks: lowest column index wins),
+//     but skips candidates using triangle-inequality bounds on the
+//     shard summaries and per-column norms — a shard whose best-case
+//     distance cannot beat the current best is never entered, a column
+//     whose norm bound cannot win is never evaluated. Exactness is a
+//     contract, not a heuristic: a property test drives random
+//     geometries through both paths and demands identical indices and
+//     float-identical values.
+//   - WithExactSearch forces the exhaustive reference scan — the
+//     bit-exact baseline the pruned tier is tested against, useful for
+//     audits and A/B comparison (Snapshot.SearchStats counts column and
+//     shard evaluations per tier).
+//   - WithShardedSearch trades a bounded accuracy budget for speed: the
+//     query visits only the Fanout nearest shards (default 4) by
+//     centroid distance. On campus-scale grids (100x the office
+//     geometry) this cuts column-distance evaluations by >20x; the
+//     accuracy budget — mean localization error within 0.1 m of the
+//     exact tier on smoothly-varying fingerprints — is pinned by tests
+//     across multiple seeds (measured degradation is under 0.002 m).
+//
+// The approximate tier only ever affects localization: the drift
+// residual (Monitor.Observe) always runs at least the pruned tier,
+// because the detector's self-calibrated floor is learned from true
+// residuals and an approximate nearest-centered-column would inflate
+// the stream it is calibrated against. Replication carries the
+// configuration per end: a follower builds its own index from the
+// replicated bits (WithReplicaExactSearch / WithReplicaShardedSearch),
+// and at the exact or pruned tier follower Locate is bit-identical to
+// the leader's at the same version.
+//
+// All query entry points — Locate, LocateCell, KNN.Neighbors via
+// NeighborsInto, and Observe's residual — run allocation-free in steady
+// state on a sync.Pool-backed per-query scratch, enforced by
+// testing.AllocsPerRun tests and the benchmark budget gate
+// (BenchmarkLocateLargeGrid, BenchmarkKNNNeighbors in
+// scripts/bench.sh).
+//
 // # Update-path performance
 //
 // The reconstruction solver is built on an allocation-free kernel layer

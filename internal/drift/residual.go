@@ -21,36 +21,44 @@
 // detectors run on O(1) or fixed-ring state allocated at construction.
 package drift
 
-import "math"
+import (
+	"math"
+
+	"iupdater/internal/loc"
+)
 
 // Residualizer scores online RSS vectors against one fingerprint
-// database version. Build one per published snapshot (construction
-// copies and centers the columns once); Residual is then read-only and
-// safe for concurrent use.
+// database version. It runs the best-match search through a loc.Index —
+// typically the one already built for the snapshot's localizer, so
+// monitoring a new version costs no extra column copies. Residual is
+// read-only and safe for concurrent use.
+//
+// The residual is exact regardless of the index's configured search
+// tier: the index answers the centered nearest-column query through its
+// pruning bounds (same value as the exhaustive scan, fewer columns
+// touched) and never through the approximate sharded routing, because
+// change detectors are calibrated against the true residual.
 type Residualizer struct {
-	m, n int
-	// cols holds the mean-centered fingerprint columns, column-major:
-	// cols[j*m : (j+1)*m] is location j's centered fingerprint.
-	cols []float64
+	m  int
+	ix *loc.Index
 }
 
 // NewResidualizer builds the scorer for an m-link by n-location
 // fingerprint matrix read through at.
 func NewResidualizer(m, n int, at func(i, j int) float64) *Residualizer {
-	r := &Residualizer{m: m, n: n, cols: make([]float64, m*n)}
-	for j := 0; j < n; j++ {
-		col := r.cols[j*m : (j+1)*m]
-		var mean float64
-		for i := 0; i < m; i++ {
-			col[i] = at(i, j)
-			mean += col[i]
+	ix := loc.NewIndexCols(m, n, func(j int, dst []float64) {
+		for i := range dst {
+			dst[i] = at(i, j)
 		}
-		mean /= float64(m)
-		for i := range col {
-			col[i] -= mean
-		}
-	}
-	return r
+	}, 0, loc.IndexConfig{})
+	return NewResidualizerIndex(ix)
+}
+
+// NewResidualizerIndex builds the scorer over a prebuilt column index,
+// sharing it with the localizers built from the same index.
+func NewResidualizerIndex(ix *loc.Index) *Residualizer {
+	m, _ := ix.Dims()
+	return &Residualizer{m: m, ix: ix}
 }
 
 // Links returns the number of links m a query vector must have.
@@ -71,17 +79,6 @@ func (r *Residualizer) Residual(y, scratch []float64) float64 {
 	for i, v := range y[:m] {
 		yc[i] = v - mean
 	}
-	best := math.Inf(1)
-	for j := 0; j < r.n; j++ {
-		col := r.cols[j*m : (j+1)*m]
-		var ss float64
-		for i, v := range yc {
-			d := v - col[i]
-			ss += d * d
-		}
-		if ss < best {
-			best = ss
-		}
-	}
+	_, best := r.ix.NearestCentered(yc)
 	return math.Sqrt(best / float64(m))
 }

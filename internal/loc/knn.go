@@ -3,111 +3,116 @@ package loc
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"iupdater/internal/mat"
 )
 
 // NearestColumn is the simplest fingerprint matcher: the column with the
-// smallest Euclidean distance to the measurement wins.
+// smallest Euclidean distance to the measurement wins (lowest index on
+// ties). Queries go through the column index, so candidate columns are
+// pruned by the precomputed norm and shard bounds without changing the
+// result.
 type NearestColumn struct {
-	x *mat.Dense
+	ix *Index
 }
 
 var _ Localizer = (*NearestColumn)(nil)
 
-// NewNearestColumn builds a nearest-column matcher over x.
+// NewNearestColumn builds a nearest-column matcher over x with default
+// (pruned, exact-result) search.
 func NewNearestColumn(x *mat.Dense) *NearestColumn {
-	return &NearestColumn{x: x}
+	return NewNearestColumnIndex(NewIndex(x, 0, IndexConfig{}))
+}
+
+// NewNearestColumnIndex builds a nearest-column matcher over a prebuilt
+// column index.
+func NewNearestColumnIndex(ix *Index) *NearestColumn {
+	return &NearestColumn{ix: ix}
 }
 
 // Locate implements Localizer.
 func (nc *NearestColumn) Locate(y []float64) (int, error) {
-	m, n := nc.x.Dims()
-	if len(y) != m {
+	if m, _ := nc.ix.Dims(); len(y) != m {
 		return 0, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
 	}
-	best, bestDist := -1, math.Inf(1)
-	for j := 0; j < n; j++ {
-		var d float64
-		for i := 0; i < m; i++ {
-			diff := nc.x.At(i, j) - y[i]
-			d += diff * diff
-		}
-		if d < bestDist {
-			best, bestDist = j, d
-		}
-	}
-	return best, nil
+	j, _ := nc.ix.NearestRaw(y)
+	return j, nil
 }
 
-// KNN is the classic weighted K-nearest-neighbor fingerprint matcher: the
-// estimate is the cell among the K closest columns with the largest
-// inverse-distance weight mass per cell (here cells are distinct columns,
-// so it reduces to the closest of the K columns unless weights are
-// aggregated by the caller over repeated measurements).
+// KNN is the classic K-nearest-neighbor fingerprint matcher. Neighbors
+// reports the K closest columns through a bounded top-k heap (no full
+// sort over N candidates); Locate resolves to the single nearest column
+// — see its comment for why the inverse-distance vote adds nothing
+// here.
 type KNN struct {
-	x *mat.Dense
-	k int
+	ix *Index
+	k  int
 }
 
 var _ Localizer = (*KNN)(nil)
 
 // NewKNN builds a K-nearest-neighbor matcher; k <= 0 defaults to 3.
 func NewKNN(x *mat.Dense, k int) *KNN {
+	return NewKNNIndex(NewIndex(x, 0, IndexConfig{}), k)
+}
+
+// NewKNNIndex builds a K-nearest-neighbor matcher over a prebuilt
+// column index.
+func NewKNNIndex(ix *Index, k int) *KNN {
 	if k <= 0 {
 		k = 3
 	}
-	return &KNN{x: x, k: k}
+	return &KNN{ix: ix, k: k}
 }
 
-// Neighbors returns the k nearest columns and their distances, ascending.
+// Neighbors returns the k nearest columns and their distances, in
+// ascending (distance, column) order. The only allocations are the two
+// result slices; use NeighborsInto to avoid even those.
 func (kn *KNN) Neighbors(y []float64) ([]int, []float64, error) {
-	m, n := kn.x.Dims()
-	if len(y) != m {
-		return nil, nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
-	}
-	type cand struct {
-		j int
-		d float64
-	}
-	cands := make([]cand, n)
-	for j := 0; j < n; j++ {
-		var d float64
-		for i := 0; i < m; i++ {
-			diff := kn.x.At(i, j) - y[i]
-			d += diff * diff
-		}
-		cands[j] = cand{j: j, d: math.Sqrt(d)}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	_, n := kn.ix.Dims()
 	k := kn.k
 	if k > n {
 		k = n
 	}
 	idx := make([]int, k)
 	dist := make([]float64, k)
-	for i := 0; i < k; i++ {
-		idx[i], dist[i] = cands[i].j, cands[i].d
+	got, err := kn.NeighborsInto(y, idx, dist)
+	if err != nil {
+		return nil, nil, err
 	}
-	return idx, dist, nil
+	return idx[:got], dist[:got], nil
 }
 
-// Locate implements Localizer: inverse-distance-weighted vote over the
-// K nearest columns' strip positions, snapped back to the best cell.
+// NeighborsInto fills idx/dist (each of length >= min(k, n)) with the k
+// nearest columns in ascending (distance, column) order and returns how
+// many were produced. It performs no allocations in steady state.
+func (kn *KNN) NeighborsInto(y []float64, idx []int, dist []float64) (int, error) {
+	m, _ := kn.ix.Dims()
+	if len(y) != m {
+		return 0, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+	}
+	got := kn.ix.TopKRaw(y, kn.k, idx, dist)
+	for i := 0; i < got; i++ {
+		dist[i] = math.Sqrt(dist[i])
+	}
+	return got, nil
+}
+
+// Locate implements Localizer by returning the nearest column.
+//
+// In this codebase every fingerprint column is a distinct grid cell, so
+// the classic inverse-distance-weighted KNN vote degenerates: each cell
+// receives exactly one weight term, the nearest neighbor's weight is by
+// construction the largest, and the vote always elects the nearest
+// column. (An earlier implementation ran that vote and, inevitably,
+// returned idx[0] every time.) Locate therefore asks the index for the
+// nearest column directly; callers that want blended estimates across
+// repeated measurements aggregate Neighbors output themselves.
 func (kn *KNN) Locate(y []float64) (int, error) {
-	idx, dist, err := kn.Neighbors(y)
-	if err != nil {
-		return 0, err
+	m, _ := kn.ix.Dims()
+	if len(y) != m {
+		return 0, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
 	}
-	// Weighted centroid in (strip-major) index space is meaningless when
-	// neighbors span strips; use weight-per-cell and return the heaviest.
-	best, bestW := idx[0], 0.0
-	for i, j := range idx {
-		w := 1 / (dist[i] + 1e-9)
-		if w > bestW {
-			best, bestW = j, w
-		}
-	}
-	return best, nil
+	j, _ := kn.ix.NearestRaw(y)
+	return j, nil
 }

@@ -29,7 +29,7 @@ func (op *OMPPoint) LocateMultiple(y []float64, maxTargets int, excludeRadius fl
 	if maxTargets < 1 {
 		return nil, fmt.Errorf("loc: maxTargets = %d", maxTargets)
 	}
-	m, _ := op.OMP.x.Dims()
+	m, _ := op.OMP.ix.Dims()
 	if len(y) != m {
 		return nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
 	}
@@ -54,7 +54,7 @@ func (op *OMPPoint) LocateMultiple(y []float64, maxTargets int, excludeRadius fl
 		anchor := sel[0]
 		anchors = append(anchors, anchor)
 		for i := 0; i < m; i++ {
-			if eff := base[i] - op.OMP.x.At(i, anchor); eff > 0 {
+			if eff := base[i] - op.OMP.ix.rawAt(i, anchor); eff > 0 {
 				work[i] += eff
 			}
 		}
@@ -83,7 +83,7 @@ func (op *OMPPoint) LocateMultiple(y []float64, maxTargets int, excludeRadius fl
 				continue
 			}
 			for i := 0; i < m; i++ {
-				if eff := base[i] - op.OMP.x.At(i, other); eff > 0 {
+				if eff := base[i] - op.OMP.ix.rawAt(i, other); eff > 0 {
 					cleaned[i] += eff
 				}
 			}
@@ -101,12 +101,11 @@ func (op *OMPPoint) LocateMultiple(y []float64, maxTargets int, excludeRadius fl
 // rowMaxima estimates per-link unobstructed levels: the reading is
 // highest when the target is far from the link.
 func (op *OMPPoint) rowMaxima() []float64 {
-	m, _ := op.OMP.x.Dims()
+	m, n := op.OMP.ix.Dims()
 	base := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := op.OMP.x.Row(i)
-		base[i] = row[0]
-		for _, v := range row[1:] {
+	copy(base, op.OMP.ix.rawCol(0))
+	for j := 1; j < n; j++ {
+		for i, v := range op.OMP.ix.rawCol(j) {
 			if v > base[i] {
 				base[i] = v
 			}
@@ -118,7 +117,7 @@ func (op *OMPPoint) rowMaxima() []float64 {
 // excluding returns a matcher with all columns within radius of the
 // anchors' cells removed, or nil when nothing remains.
 func (op *OMPPoint) excluding(anchors []int, radius float64) *OMPPoint {
-	_, n := op.OMP.x.Dims()
+	_, n := op.OMP.ix.Dims()
 	allowed := make([]bool, n)
 	any := false
 	for j := 0; j < n; j++ {
@@ -142,7 +141,7 @@ func (op *OMPPoint) excluding(anchors []int, radius float64) *OMPPoint {
 // restrictedTo returns a matcher keeping only columns within radius of
 // the anchor cell.
 func (op *OMPPoint) restrictedTo(anchor int, radius float64) *OMPPoint {
-	_, n := op.OMP.x.Dims()
+	_, n := op.OMP.ix.Dims()
 	allowed := make([]bool, n)
 	center := op.Grid.Center(anchor)
 	for j := 0; j < n; j++ {
@@ -152,8 +151,10 @@ func (op *OMPPoint) restrictedTo(anchor int, radius float64) *OMPPoint {
 	return op.maskedCopy(allowed)
 }
 
-// maskedCopy returns an OMPPoint sharing the matrix but with excluded
-// columns' norms zeroed so the pursuit never selects them.
+// maskedCopy returns an OMPPoint sharing the column index but with
+// excluded columns' norm overlay zeroed so the pursuit never selects
+// them (the index's shard bounds stay valid upper bounds over the
+// masked subset).
 func (op *OMPPoint) maskedCopy(allowed []bool) *OMPPoint {
 	norms := make([]float64, len(op.OMP.colNorm))
 	copy(norms, op.OMP.colNorm)
@@ -163,13 +164,7 @@ func (op *OMPPoint) maskedCopy(allowed []bool) *OMPPoint {
 		}
 	}
 	return &OMPPoint{
-		OMP: &OMP{
-			x:        op.OMP.x,
-			cfg:      op.OMP.cfg,
-			centered: op.OMP.centered,
-			colMean:  op.OMP.colMean,
-			colNorm:  norms,
-		},
+		OMP:  &OMP{cfg: op.OMP.cfg, ix: op.OMP.ix, colNorm: norms},
 		Grid: op.Grid,
 	}
 }

@@ -2,6 +2,13 @@
 // greedy orthogonal-matching-pursuit matcher of Eqns 26-27, plus the
 // baselines the paper compares against (K-nearest-neighbor matching and
 // the SVR-based RASS system).
+//
+// All matchers run over a snapshot-time Index of the fingerprint
+// columns: precomputed centered norms and per-shard centroid/radius
+// bounds prune candidate columns without changing results, an optional
+// sharded tier trades a documented accuracy budget for near-constant
+// query cost, and a pooled per-query scratch keeps the hot paths
+// allocation-free. See Index for the exact-vs-approximate contract.
 package loc
 
 import (
@@ -35,52 +42,41 @@ type OMPConfig struct {
 // matrix by greedy orthogonal matching pursuit. The location estimate is
 // the column whose (first, dominant) selection explains the measurement.
 //
-// Columns are mean-centered and normalized internally: raw RSS columns
-// all share a large common baseline component, which would otherwise make
-// correlation-based greedy selection meaningless.
+// Columns are mean-centered and normalized by the underlying Index: raw
+// RSS columns all share a large common baseline component, which would
+// otherwise make correlation-based greedy selection meaningless. The
+// pursuit runs entirely on pooled scratch — Locate performs no
+// allocations in steady state.
 type OMP struct {
-	x        *mat.Dense // M x N fingerprint matrix
-	cfg      OMPConfig
-	centered *mat.Dense // per-column centered + normalized copy
-	colMean  []float64
-	colNorm  []float64
+	cfg OMPConfig
+	ix  *Index
+	// colNorm is the centered-column-norm overlay the pursuit selects
+	// against. It aliases the index's own norms by default; masked
+	// matchers (see OMPPoint.maskedCopy) carry a copy with excluded
+	// columns zeroed, sharing the index itself.
+	colNorm []float64
 }
 
 // Compile-time interface check.
 var _ Localizer = (*OMP)(nil)
 
-// NewOMP builds an OMP matcher over the fingerprint matrix x.
+// NewOMP builds an OMP matcher over the fingerprint matrix x, indexing
+// it with default (pruned, exact-result) search.
 func NewOMP(x *mat.Dense, cfg OMPConfig) *OMP {
+	return NewOMPIndex(NewIndex(x, 0, IndexConfig{}), cfg)
+}
+
+// NewOMPIndex builds an OMP matcher over a prebuilt column index,
+// sharing it with any other matchers built from the same index.
+func NewOMPIndex(ix *Index, cfg OMPConfig) *OMP {
 	if cfg.MaxSparsity <= 0 {
 		cfg.MaxSparsity = 3
 	}
-	m, n := x.Dims()
-	centered := mat.New(m, n)
-	colMean := make([]float64, n)
-	colNorm := make([]float64, n)
-	for j := 0; j < n; j++ {
-		var mean float64
-		for i := 0; i < m; i++ {
-			mean += x.At(i, j)
-		}
-		mean /= float64(m)
-		colMean[j] = mean
-		var norm float64
-		for i := 0; i < m; i++ {
-			v := x.At(i, j) - mean
-			centered.Set(i, j, v)
-			norm += v * v
-		}
-		norm = math.Sqrt(norm)
-		colNorm[j] = norm
-		if norm > 0 {
-			for i := 0; i < m; i++ {
-				centered.Set(i, j, centered.At(i, j)/norm)
-			}
-		}
-	}
-	return &OMP{x: x, cfg: cfg, centered: centered, colMean: colMean, colNorm: colNorm}
+	return &OMP{cfg: cfg, ix: ix, colNorm: ix.colNorms()}
 }
+
+// Index returns the underlying column index.
+func (o *OMP) Index() *Index { return o.ix }
 
 // Locate implements Localizer via Eqn 27: greedily select the fingerprint
 // columns most correlated with the residual, solve the restricted least
@@ -88,60 +84,70 @@ func NewOMP(x *mat.Dense, cfg OMPConfig) *OMP {
 // column — the dominant explanation of the measurement — is the location
 // estimate.
 func (o *OMP) Locate(y []float64) (int, error) {
-	sel, err := o.Pursue(y)
+	s, sel, _, err := o.pursue(y)
 	if err != nil {
 		return 0, err
 	}
-	return sel[0], nil
+	j := sel[0]
+	o.ix.putScratch(s)
+	return j, nil
+}
+
+// Pursue runs the greedy pursuit and returns the selected column indices
+// in selection order.
+func (o *OMP) Pursue(y []float64) ([]int, error) {
+	s, sel, _, err := o.pursue(y)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]int(nil), sel...)
+	o.ix.putScratch(s)
+	return out, nil
 }
 
 // PursueWeighted runs the greedy pursuit and returns the selected column
 // indices with their final least-squares weights (Eqn 26's nonlinear
 // optimization restricted to the selected support).
 func (o *OMP) PursueWeighted(y []float64) ([]int, []float64, error) {
-	sel, err := o.Pursue(y)
+	s, sel, w, err := o.pursue(y)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, _ := o.x.Dims()
-	var mean float64
-	for _, v := range y {
-		mean += v
-	}
-	mean /= float64(m)
-	a := mat.New(m, len(sel))
-	for k, j := range sel {
-		for i := 0; i < m; i++ {
-			a.Set(i, k, o.centered.At(i, j))
-		}
-	}
-	target := make([]float64, m)
-	for i, v := range y {
-		target[i] = v - mean
-	}
-	w, err := mat.LeastSquares(a, target)
-	if err != nil {
-		return nil, nil, fmt.Errorf("loc: OMP weights: %w", err)
-	}
-	return sel, w, nil
+	outSel := append([]int(nil), sel...)
+	outW := append([]float64(nil), w...)
+	o.ix.putScratch(s)
+	return outSel, outW, nil
 }
 
-// Pursue runs the greedy pursuit and returns the selected column indices
-// in selection order.
-func (o *OMP) Pursue(y []float64) ([]int, error) {
-	m, _ := o.x.Dims()
+// pursue is the scratch-backed pursuit core. On success it returns the
+// scratch (which the caller must release with putScratch once done with
+// sel and w), the selected columns in selection order, and their final
+// least-squares weights — both views into the scratch. On error the
+// scratch is already released.
+//
+// Each round selects the unselected column most correlated with the
+// residual (via the index, so shard bounds prune the scan), re-solves
+// the least squares over the selected unit columns with the in-scratch
+// Householder QR, and recomputes the residual from the original
+// columns. The weights of the final round are exactly the final-support
+// solve PursueWeighted needs — no separate re-solve.
+func (o *OMP) pursue(y []float64) (*queryScratch, []int, []float64, error) {
+	m, _ := o.ix.Dims()
 	if len(y) != m {
-		return nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
+		return nil, nil, nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
 	}
+	s := o.ix.getScratch()
 	// Center the measurement the same way as the columns.
 	var mean float64
 	for _, v := range y {
 		mean += v
 	}
 	mean /= float64(m)
-	resid := make([]float64, m)
+	s.target = growF(s.target, m)
+	s.resid = growF(s.resid, m)
 	for i, v := range y {
-		resid[i] = v - mean
+		s.target[i] = v - mean
+		s.resid[i] = s.target[i]
 	}
 
 	xi := o.cfg.Xi
@@ -152,71 +158,46 @@ func (o *OMP) Pursue(y []float64) ([]int, error) {
 		xi = 0.35 * float64(m)
 	}
 
-	var selected []int
-	inSel := make(map[int]bool)
-	for len(selected) < o.cfg.MaxSparsity {
-		j, corr := o.bestColumn(resid, inSel)
+	maxK := o.cfg.MaxSparsity
+	s.sel = growI(s.sel, maxK)[:0]
+	s.qr = growF(s.qr, m*maxK)
+	s.v = growF(s.v, m)
+	s.rhs = growF(s.rhs, m)
+	s.w = growF(s.w, maxK)
+	for len(s.sel) < maxK {
+		j, corr := o.ix.bestCorr(s.resid, o.colNorm, s.sel, o.ix.cfg.Mode)
 		if j < 0 || corr == 0 {
 			break
 		}
-		selected = append(selected, j)
-		inSel[j] = true
-		if err := o.updateResidual(y, mean, selected, resid); err != nil {
-			return nil, err
+		s.sel = append(s.sel, j)
+		k := len(s.sel)
+		// Re-solve the restricted least squares over the selected unit
+		// columns; the QR working copy is destroyed by the solve, so the
+		// columns are re-copied each round (k <= MaxSparsity, tiny).
+		for ki, jj := range s.sel {
+			copy(s.qr[ki*m:(ki+1)*m], o.ix.unitCol(jj))
 		}
-		if mat.VecNorm2Sq(resid) < xi {
+		copy(s.rhs, s.target)
+		if err := lsSolve(s.qr[:k*m], m, k, s.rhs, s.v, s.w[:k]); err != nil {
+			o.ix.putScratch(s)
+			return nil, nil, nil, fmt.Errorf("loc: OMP least squares: %w", err)
+		}
+		copy(s.resid, s.target)
+		for ki, jj := range s.sel {
+			wk := s.w[ki]
+			for i, uv := range o.ix.unitCol(jj) {
+				s.resid[i] -= wk * uv
+			}
+		}
+		if mat.VecNorm2Sq(s.resid) < xi {
 			break
 		}
 	}
-	if len(selected) == 0 {
-		return nil, errors.New("loc: OMP selected no columns (zero measurement?)")
+	if len(s.sel) == 0 {
+		o.ix.putScratch(s)
+		return nil, nil, nil, errors.New("loc: OMP selected no columns (zero measurement?)")
 	}
-	return selected, nil
-}
-
-// bestColumn returns the unselected column with the largest absolute
-// correlation with the residual.
-func (o *OMP) bestColumn(resid []float64, excluded map[int]bool) (int, float64) {
-	m, n := o.centered.Dims()
-	best, bestAbs := -1, 0.0
-	for j := 0; j < n; j++ {
-		if excluded[j] || o.colNorm[j] == 0 {
-			continue
-		}
-		var c float64
-		for i := 0; i < m; i++ {
-			c += o.centered.At(i, j) * resid[i]
-		}
-		if a := math.Abs(c); a > bestAbs {
-			best, bestAbs = j, a
-		}
-	}
-	return best, bestAbs
-}
-
-// updateResidual orthogonalizes y against the span of the selected
-// (centered) columns.
-func (o *OMP) updateResidual(y []float64, mean float64, selected []int, resid []float64) error {
-	m := len(y)
-	a := mat.New(m, len(selected))
-	for k, j := range selected {
-		for i := 0; i < m; i++ {
-			a.Set(i, k, o.centered.At(i, j))
-		}
-	}
-	target := make([]float64, m)
-	for i, v := range y {
-		target[i] = v - mean
-	}
-	w, err := mat.LeastSquares(a, target)
-	if err != nil {
-		return fmt.Errorf("loc: OMP least squares: %w", err)
-	}
-	approx := mat.MulVec(a, w)
-	for i := range resid {
-		resid[i] = target[i] - approx[i]
-	}
-	return nil
+	return s, s.sel, s.w[:len(s.sel)], nil
 }
 
 // OMPPoint couples an OMP matcher with the deployment grid to produce
@@ -229,14 +210,21 @@ type OMPPoint struct {
 	Grid geom.Grid
 }
 
-// NewOMPPoint builds a continuous-output OMP localizer.
+// NewOMPPoint builds a continuous-output OMP localizer, indexing x with
+// shards aligned to the grid's strips and default (pruned) search.
 func NewOMPPoint(x *mat.Dense, grid geom.Grid, cfg OMPConfig) *OMPPoint {
-	return &OMPPoint{OMP: NewOMP(x, cfg), Grid: grid}
+	return NewOMPPointIndex(NewIndex(x, grid.PerStrip, IndexConfig{}), grid, cfg)
+}
+
+// NewOMPPointIndex builds a continuous-output OMP localizer over a
+// prebuilt column index (typically the one published with a snapshot).
+func NewOMPPointIndex(ix *Index, grid geom.Grid, cfg OMPConfig) *OMPPoint {
+	return &OMPPoint{OMP: NewOMPIndex(ix, cfg), Grid: grid}
 }
 
 // LocatePoint returns the continuous position estimate for y.
 func (op *OMPPoint) LocatePoint(y []float64) (geom.Point, error) {
-	sel, w, err := op.OMP.PursueWeighted(y)
+	s, sel, w, err := op.OMP.pursue(y)
 	if err != nil {
 		return geom.Point{}, err
 	}
@@ -251,10 +239,14 @@ func (op *OMPPoint) LocatePoint(y []float64) (geom.Point, error) {
 		sx += wk * c.X
 		sy += wk * c.Y
 	}
+	var p geom.Point
 	if sumW == 0 {
-		return op.Grid.Center(sel[0]), nil
+		p = op.Grid.Center(sel[0])
+	} else {
+		p = geom.Point{X: sx / sumW, Y: sy / sumW}
 	}
-	return geom.Point{X: sx / sumW, Y: sy / sumW}, nil
+	op.OMP.ix.putScratch(s)
+	return p, nil
 }
 
 // Locate implements Localizer by snapping the continuous estimate to its
@@ -275,7 +267,9 @@ var _ Localizer = (*OMPPoint)(nil)
 // SparseRecover runs plain OMP sparse recovery for y = A*w with k-sparse
 // w over an arbitrary dictionary (no centering). It returns the selected
 // column indices and their least-squares coefficients. Exposed for
-// property tests and for callers that use OMP as a generic solver.
+// property tests and for callers that use OMP as a generic solver. It is
+// a one-shot solver over an arbitrary dictionary, so it does not build
+// an Index and allocates freely.
 func SparseRecover(a *mat.Dense, y []float64, k int, tol float64) ([]int, []float64, error) {
 	m, n := a.Dims()
 	if len(y) != m {

@@ -1,0 +1,9 @@
+//go:build race
+
+package loc
+
+// raceEnabled reports whether the race detector is active. Under -race
+// sync.Pool deliberately drops a fraction of Put items to widen the
+// race-detection window, so pooled query paths allocate; strict 0
+// allocs/op assertions only hold in a regular build.
+const raceEnabled = true

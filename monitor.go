@@ -356,12 +356,11 @@ func (m *Monitor) Observe(rss []float64) error {
 	}
 	snap := m.d.snap.Load()
 	if m.res == nil || snap.version != m.resVersion {
-		// A new database version changes the residual baseline: rebuild
-		// the scorer's centered columns and re-calibrate the detector.
-		// Not the steady state, so the allocations here don't count
-		// against the per-query budget.
-		fp := snap.fp
-		m.res = drift.NewResidualizer(fp.rows, fp.cols, fp.At)
+		// A new database version changes the residual baseline: rebind
+		// the scorer to the snapshot's locate index (whose centered
+		// columns were already built on the publish path) and
+		// re-calibrate the detector.
+		m.res = drift.NewResidualizerIndex(snap.ix)
 		m.resVersion = snap.version
 		m.cfg.detector.Reset()
 		if m.restoredOK && m.restored.SnapshotVersion == snap.version {

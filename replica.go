@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iupdater/internal/loc"
 	"iupdater/internal/replica"
 	"iupdater/internal/store"
 )
@@ -144,6 +145,7 @@ type replicaConfig struct {
 	wait       time.Duration
 	minBackoff time.Duration
 	maxBackoff time.Duration
+	search     loc.IndexConfig
 }
 
 // WithReplicaClient sets the HTTP client used to tail the leader
@@ -172,6 +174,26 @@ func WithReplicaWait(d time.Duration) ReplicaOption {
 // failed polls (defaults 100ms and 5s).
 func WithReplicaBackoff(min, max time.Duration) ReplicaOption {
 	return func(cfg *replicaConfig) { cfg.minBackoff, cfg.maxBackoff = min, max }
+}
+
+// WithReplicaExactSearch forces the replica's snapshots to the
+// bit-exact exhaustive locate tier, exactly as WithExactSearch does for
+// a leader. A follower configured like its leader serves bit-identical
+// Locate results at the same version under every tier; this option
+// pins both ends to the reference scan when that identity must hold by
+// construction rather than by the pruning proof.
+func WithReplicaExactSearch() ReplicaOption {
+	return func(cfg *replicaConfig) { cfg.search.Mode = loc.SearchExact }
+}
+
+// WithReplicaShardedSearch switches the replica's snapshots to the
+// approximate sharded locate tier, exactly as WithShardedSearch does
+// for a leader (fanout <= 0 selects the default).
+func WithReplicaShardedSearch(fanout int) ReplicaOption {
+	return func(cfg *replicaConfig) {
+		cfg.search.Mode = loc.SearchSharded
+		cfg.search.Fanout = fanout
+	}
 }
 
 // Replica is a read-only follower of a leader deployment: it tails the
@@ -260,7 +282,7 @@ func (r *Replica) apply(version uint64, _ store.Kind, payload []byte) error {
 	} else if g != r.geo {
 		return fmt.Errorf("leader switched geometry to %+v (replica bootstrapped with %+v)", g, r.geo)
 	}
-	r.snap.Store(newSnapshot(version, fp, g.grid()))
+	r.snap.Store(newSnapshot(version, fp, g.grid(), r.cfg.search))
 	return nil
 }
 

@@ -192,6 +192,98 @@ func TestReplicationEndToEnd(t *testing.T) {
 	}
 }
 
+// TestReplicaSearchParity pins the follower/leader locate-index
+// contract: follower snapshots build the same snapshot-time index from
+// the replicated bits, so Locate is bit-identical to the leader at the
+// same version — both when both ends are pinned to the exhaustive
+// reference (WithExactSearch / WithReplicaExactSearch) and when the
+// follower runs the default pruned tier, whose results are exact by
+// construction.
+func TestReplicaSearchParity(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := NewDeployment(replicaMatrix(0), replicaGeometry, WithStore(st), WithExactSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.ServeRecords())
+	defer srv.Close()
+	repExact := fastReplica(t, srv.URL, WithReplicaExactSearch())
+	repPruned := fastReplica(t, srv.URL) // default tier: pruned, still exact results
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	queries := func() [][]float64 {
+		rows := d.Snapshot().Fingerprints().ToRows()
+		out := make([][]float64, 0, 12)
+		for q := 0; q < 12; q++ {
+			col := (q * 17) % replicaGeometry.NumCells()
+			y := make([]float64, replicaGeometry.Links)
+			for i := range y {
+				y[i] = rows[i][col] + float64(q%5)*0.375 - 0.75
+			}
+			out = append(out, y)
+		}
+		return out
+	}
+
+	check := func(t *testing.T) {
+		t.Helper()
+		want := d.Snapshot()
+		if _, err := repExact.WaitVersion(ctx, want.Version()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repPruned.WaitVersion(ctx, want.Version()); err != nil {
+			t.Fatal(err)
+		}
+		for qi, y := range queries() {
+			lp, err := d.Locate(y)
+			if err != nil {
+				t.Fatalf("query %d: leader: %v", qi, err)
+			}
+			lc, err := d.LocateCell(y)
+			if err != nil {
+				t.Fatalf("query %d: leader cell: %v", qi, err)
+			}
+			for name, rep := range map[string]*Replica{"exact": repExact, "pruned": repPruned} {
+				fp, err := rep.Locate(y)
+				if err != nil {
+					t.Fatalf("query %d: %s follower: %v", qi, name, err)
+				}
+				if fp != lp {
+					t.Fatalf("query %d: %s follower Locate %+v, leader %+v", qi, name, fp, lp)
+				}
+				fc, err := rep.Snapshot().LocateCell(y)
+				if err != nil || fc != lc {
+					t.Fatalf("query %d: %s follower cell (%d, %v), leader %d", qi, name, fc, err, lc)
+				}
+			}
+		}
+	}
+	check(t)
+
+	cur := replicaMatrix(0)
+	for v := 2; v <= 4; v++ {
+		cur = perturbColumn(cur, (v*13)%replicaGeometry.NumCells(), 0.5)
+		if _, err := d.Install(cur); err != nil {
+			t.Fatal(err)
+		}
+		check(t)
+	}
+	// The exhaustive leader really ran exhaustively: every search
+	// evaluated all N columns (minus the few the pursuit had already
+	// selected and therefore excluded).
+	stats := d.Snapshot().SearchStats()
+	if stats.Queries == 0 || stats.ColumnEvals < stats.Queries*uint64(replicaGeometry.NumCells()-3) {
+		t.Fatalf("exact-search leader stats %+v, want ~%d column evals per query",
+			stats, replicaGeometry.NumCells())
+	}
+}
+
 // TestReplicaFleetSite registers a follower in a Fleet: the summary
 // carries the replication status, and Close tears the tailer down.
 func TestReplicaFleetSite(t *testing.T) {

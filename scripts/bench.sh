@@ -4,9 +4,10 @@
 #
 # Runs the two reconstruction benchmarks that gate solver performance
 # (Fig 16 constraint ablation and the initialization ablation), the
-# drift-monitor observe benchmark, and the snapshot-store append+load
-# and delta-append benchmarks with -benchmem, prints the result, and
-# appends one JSON line
+# drift-monitor observe benchmark, the snapshot-store append+load and
+# delta-append benchmarks, and the locate-index query benchmarks (10x
+# and 100x office-sized grids across search tiers, plus the KNN top-k
+# scan) with -benchmem, prints the result, and appends one JSON line
 # per benchmark to BENCH_recon.json so successive PRs leave a comparable
 # trajectory:
 #
@@ -31,12 +32,19 @@
 #	ReplicaApply             <=      4  (0 measured: the follower's
 #	                                     validate-and-apply path reuses
 #	                                     its payload buffer steady-state)
+#	LocateLargeGrid/*        <=      2  (0 measured: pooled per-query
+#	                                     scratch keeps every search tier
+#	                                     allocation-free; the col_evals/op
+#	                                     metric tracks the sub-linear
+#	                                     candidate-search claim)
+#	KNNNeighbors             <=      2  (0 measured: bounded top-k heap
+#	                                     into caller-provided slices)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply' \
-	-benchtime "$benchtime" -benchmem "$@" . ./internal/store)"
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply|LocateLargeGrid|KNNNeighbors' \
+	-benchtime "$benchtime" -benchmem "$@" . ./internal/store ./internal/loc)"
 echo "$out"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -65,6 +73,11 @@ BEGIN {
 	budget["BenchmarkStoreAppendLoad"] = 12
 	budget["BenchmarkStoreAppendDelta"] = 8
 	budget["BenchmarkReplicaApply"] = 4
+	budget["BenchmarkLocateLargeGrid/10x"] = 2
+	budget["BenchmarkLocateLargeGrid/100x"] = 2
+	budget["BenchmarkLocateLargeGrid/100x-sharded"] = 2
+	budget["BenchmarkLocateLargeGrid/100x-exact"] = 2
+	budget["BenchmarkKNNNeighbors"] = 2
 	failures = 0
 }
 /^Benchmark/ {
