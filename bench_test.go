@@ -490,6 +490,36 @@ func BenchmarkMonitorObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorObserveAttribution times the observe path plus the
+// per-link attribution readout: one residual decomposition, one EWMA
+// fold and one top-k extraction per served query — the pattern a
+// /metrics scrape alongside live traffic exercises. Same steady-state
+// budget as BenchmarkMonitorObserve (<= 2 allocs/op, 0 measured),
+// gated in scripts/bench.sh.
+func BenchmarkMonitorObserveAttribution(b *testing.B) {
+	d, batch := benchDeployment(b, 1)
+	m, err := iupdater.NewMonitor(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 512; i++ {
+		if err := m.Observe(batch[i%len(batch)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	links := make([]int, 3)
+	errs := make([]float64, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Observe(batch[i%len(batch)]); err != nil {
+			b.Fatal(err)
+		}
+		m.TopLinksInto(links, errs)
+	}
+}
+
 // largeGridDeployment builds a synthetic campus-scale deployment (8
 // links, perStrip cells per strip — perStrip 120 is 10x the office
 // grid's 96 cells, 1200 is 100x) plus a battery of online-like queries:

@@ -21,9 +21,13 @@
 // server gracefully.
 //
 // With -sites, serve hosts a fleet of named site deployments: GET /sites
-// lists every site's version and drift summary, and each site answers
-// under /sites/{name}/locate|update|snapshot|drift|rollback (the bare
-// routes remain aliases for the first site). With -data-dir, every
+// lists every site's version, search-tier and drift summary, GET
+// /metrics serves the fleet-wide Prometheus text exposition (latency
+// histograms, search work, drift and per-link attribution, store and
+// replication state, one site label per sample), and each site answers
+// under /sites/{name}/locate|update|snapshot|drift|rollback|records
+// (the bare routes remain aliases for the first site). With -data-dir,
+// every
 // published snapshot is persisted to an append-only checksummed store
 // under dir/<site>, a restart warm-starts from the latest version (no
 // re-survey, resumed drift baseline), POST .../rollback?version=N

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"iupdater"
+	"iupdater/internal/obs"
 )
 
 // site is one served deployment: the Deployment itself plus the testbed
@@ -58,6 +60,18 @@ func (st *site) snap() *iupdater.Snapshot {
 		return st.rep.Snapshot()
 	}
 	return st.d.Snapshot()
+}
+
+// latency returns the site's locate-latency histogram — the
+// deployment's for a writer, the replica's for a follower. The serve
+// handlers observe into it directly because they localize against a
+// pinned snapshot (for version consistency), bypassing the instrumented
+// Deployment.Locate wrappers.
+func (st *site) latency() *obs.Histogram {
+	if st.rep != nil {
+		return st.rep.LocateLatency()
+	}
+	return st.d.LocateLatency()
 }
 
 // readOnly writes the 409 telling callers of mutating routes that this
@@ -184,6 +198,7 @@ func (s *server) handler() http.Handler {
 	route("POST", "/rollback", s.handleRollback)
 	route("GET", "/records", s.handleRecords)
 	route("GET", "/sites", s.handleSites)
+	route("GET", "/metrics", s.handleMetrics)
 	route("GET", "/sites/{site}", s.handleSite)
 	route("POST", "/sites/{site}/locate", s.handleLocate)
 	route("POST", "/sites/{site}/update", s.handleUpdate)
@@ -268,7 +283,9 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := locateResponse{Version: snap.Version()}
 	if req.RSS != nil {
+		start := time.Now()
 		p, err := snap.Locate(req.RSS)
+		st.latency().Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -276,7 +293,9 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		st.observe(req.RSS)
 		resp.Position = &positionJSON{X: p.X, Y: p.Y}
 	} else {
+		start := time.Now()
 		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
+		st.latency().Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -424,22 +443,30 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // driftResponse mirrors iupdater.MonitorStats over the wire.
 type driftResponse struct {
-	Queries           uint64  `json:"queries"`
-	Residual          float64 `json:"residual_db"`
-	Score             float64 `json:"score"`
-	Detections        uint64  `json:"detections"`
-	UpdatesTriggered  uint64  `json:"updates_triggered"`
-	UpdatesCompleted  uint64  `json:"updates_completed"`
-	UpdateErrors      uint64  `json:"update_errors"`
-	Suppressed        uint64  `json:"suppressed"`
-	CooldownRemaining int     `json:"cooldown_remaining"`
-	UpdateInFlight    bool    `json:"update_in_flight"`
-	Version           uint64  `json:"version"`
-	LastError         string  `json:"last_error,omitempty"`
+	Queries           uint64          `json:"queries"`
+	Residual          float64         `json:"residual_db"`
+	Score             float64         `json:"score"`
+	Detections        uint64          `json:"detections"`
+	UpdatesTriggered  uint64          `json:"updates_triggered"`
+	UpdatesCompleted  uint64          `json:"updates_completed"`
+	UpdateErrors      uint64          `json:"update_errors"`
+	Suppressed        uint64          `json:"suppressed"`
+	CooldownRemaining int             `json:"cooldown_remaining"`
+	TopLinks          []linkDriftJSON `json:"top_links,omitempty"`
+	UpdateInFlight    bool            `json:"update_in_flight"`
+	Version           uint64          `json:"version"`
+	LastError         string          `json:"last_error,omitempty"`
+}
+
+// linkDriftJSON mirrors iupdater.LinkDrift: one offending link in the
+// monitor's per-link residual attribution.
+type linkDriftJSON struct {
+	Link  int     `json:"link"`
+	ErrDB float64 `json:"err_db"`
 }
 
 func driftJSON(stats iupdater.MonitorStats) driftResponse {
-	return driftResponse{
+	out := driftResponse{
 		Queries:           stats.Queries,
 		Residual:          stats.Residual,
 		Score:             stats.Score,
@@ -453,6 +480,10 @@ func driftJSON(stats iupdater.MonitorStats) driftResponse {
 		Version:           stats.SnapshotVersion,
 		LastError:         stats.LastError,
 	}
+	for _, ld := range stats.TopLinks {
+		out.TopLinks = append(out.TopLinks, linkDriftJSON{Link: ld.Link, ErrDB: ld.ErrDB})
+	}
+	return out
 }
 
 func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
@@ -536,8 +567,19 @@ type siteSummaryJSON struct {
 	Durable        bool               `json:"durable"`
 	StoredVersions []uint64           `json:"stored_versions,omitempty"`
 	StoredRecords  []recordJSON       `json:"stored_records,omitempty"`
+	Search         *searchSummaryJSON `json:"search,omitempty"`
 	Drift          *driftResponse     `json:"drift,omitempty"`
 	Replica        *replicaStatusJSON `json:"replica,omitempty"`
+}
+
+// searchSummaryJSON mirrors iupdater.SearchSummary: the serving
+// snapshot's candidate-search tier and its cumulative work counters
+// (reset on every publish — each version carries a fresh index).
+type searchSummaryJSON struct {
+	Tier        string `json:"tier"`
+	Queries     uint64 `json:"queries"`
+	ColumnEvals uint64 `json:"column_evals"`
+	ShardEvals  uint64 `json:"shard_evals"`
 }
 
 // replicaStatusJSON mirrors iupdater.ReplicaStatus over the wire: the
@@ -547,6 +589,8 @@ type replicaStatusJSON struct {
 	Version       uint64 `json:"version"`
 	LeaderVersion uint64 `json:"leader_version"`
 	Lag           uint64 `json:"lag"`
+	Reconnects    uint64 `json:"reconnects"`
+	Rebootstraps  uint64 `json:"rebootstraps"`
 	Promoted      bool   `json:"promoted,omitempty"`
 }
 
@@ -562,6 +606,14 @@ func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
 	for _, rec := range sum.StoredRecords {
 		out.StoredRecords = append(out.StoredRecords, recordJSON{Version: rec.Version, Kind: rec.Kind, Bytes: rec.Bytes})
 	}
+	if sum.Search != nil {
+		out.Search = &searchSummaryJSON{
+			Tier:        sum.Search.Tier,
+			Queries:     sum.Search.Stats.Queries,
+			ColumnEvals: sum.Search.Stats.ColumnEvals,
+			ShardEvals:  sum.Search.Stats.ShardEvals,
+		}
+	}
 	if sum.Drift != nil {
 		dr := driftJSON(*sum.Drift)
 		out.Drift = &dr
@@ -572,6 +624,8 @@ func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
 			Version:       sum.Replica.Version,
 			LeaderVersion: sum.Replica.LeaderVersion,
 			Lag:           sum.Replica.Lag,
+			Reconnects:    sum.Replica.Reconnects,
+			Rebootstraps:  sum.Replica.Rebootstraps,
 			Promoted:      sum.Replica.Promoted,
 		}
 	}
@@ -598,6 +652,196 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, siteSummaryResponse(fs.Summary()))
+}
+
+// handleMetrics serves the fleet-wide Prometheus text exposition
+// (format 0.0.4). Every family is written once — HELP and TYPE ahead of
+// the samples — with one sample (or bucket series) per site, labeled
+// site="<name>". Search counters add the serving tier, per-link drift
+// attribution adds the link index. Families a site has no data for
+// (drift on an unmonitored site, replication on a writer) simply have
+// no sample for that site.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sums := s.fleet.Summaries()
+	var buf bytes.Buffer
+	mw := obs.NewWriter(&buf)
+	site := func(name string) obs.Label { return obs.Label{Name: "site", Value: name} }
+
+	mw.Family("iupdater_locate_latency_seconds", "histogram", "End-to-end locate latency in seconds, snapshot load included.")
+	for _, sum := range sums {
+		mw.Histogram("iupdater_locate_latency_seconds", s.sites[sum.Name].latency().Snapshot(), site(sum.Name))
+	}
+
+	mw.Family("iupdater_snapshot_version", "gauge", "Serving fingerprint snapshot version (0 for an unsynced replica).")
+	for _, sum := range sums {
+		mw.Sample("iupdater_snapshot_version", float64(sum.Version), site(sum.Name))
+	}
+
+	// Candidate-search work, labeled with the serving snapshot's tier.
+	// The counters reset on every publish: each snapshot version carries
+	// a fresh index (Prometheus handles counter resets natively).
+	searchFamilies := []struct {
+		name, help string
+		value      func(iupdater.SearchStats) uint64
+	}{
+		{"iupdater_search_queries_total", "Candidate searches answered by the serving snapshot.",
+			func(st iupdater.SearchStats) uint64 { return st.Queries }},
+		{"iupdater_search_column_evals_total", "Full fingerprint-column distance evaluations by the serving snapshot.",
+			func(st iupdater.SearchStats) uint64 { return st.ColumnEvals }},
+		{"iupdater_search_shard_evals_total", "Coarse shard-routing evaluations by the serving snapshot.",
+			func(st iupdater.SearchStats) uint64 { return st.ShardEvals }},
+	}
+	for _, fam := range searchFamilies {
+		mw.Family(fam.name, "counter", fam.help)
+		for _, sum := range sums {
+			if sum.Search == nil {
+				continue
+			}
+			mw.Sample(fam.name, float64(fam.value(sum.Search.Stats)),
+				site(sum.Name), obs.Label{Name: "tier", Value: sum.Search.Tier})
+		}
+	}
+
+	driftGauges := []struct {
+		name, help string
+		value      func(*iupdater.MonitorStats) float64
+	}{
+		{"iupdater_drift_residual_db", "Latest per-query residual against the serving fingerprints (dB).",
+			func(st *iupdater.MonitorStats) float64 { return st.Residual }},
+		{"iupdater_drift_score", "Current drift-detector score.",
+			func(st *iupdater.MonitorStats) float64 { return st.Score }},
+		{"iupdater_drift_cooldown_remaining", "Queries left before the monitor may trigger another update.",
+			func(st *iupdater.MonitorStats) float64 { return float64(st.CooldownRemaining) }},
+	}
+	for _, fam := range driftGauges {
+		mw.Family(fam.name, "gauge", fam.help)
+		for _, sum := range sums {
+			if sum.Drift == nil {
+				continue
+			}
+			mw.Sample(fam.name, fam.value(sum.Drift), site(sum.Name))
+		}
+	}
+	driftCounters := []struct {
+		name, help string
+		value      func(*iupdater.MonitorStats) uint64
+	}{
+		{"iupdater_drift_queries_total", "Measurements observed by the drift monitor.",
+			func(st *iupdater.MonitorStats) uint64 { return st.Queries }},
+		{"iupdater_drift_detections_total", "Drift detections (post-hysteresis).",
+			func(st *iupdater.MonitorStats) uint64 { return st.Detections }},
+		{"iupdater_drift_updates_triggered_total", "Automatic updates the monitor started.",
+			func(st *iupdater.MonitorStats) uint64 { return st.UpdatesTriggered }},
+		{"iupdater_drift_updates_completed_total", "Automatic updates that published a new snapshot.",
+			func(st *iupdater.MonitorStats) uint64 { return st.UpdatesCompleted }},
+		{"iupdater_drift_update_errors_total", "Automatic updates that failed.",
+			func(st *iupdater.MonitorStats) uint64 { return st.UpdateErrors }},
+		{"iupdater_drift_detections_suppressed_total", "Detections suppressed by cooldown or an in-flight update.",
+			func(st *iupdater.MonitorStats) uint64 { return st.Suppressed }},
+	}
+	for _, fam := range driftCounters {
+		mw.Family(fam.name, "counter", fam.help)
+		for _, sum := range sums {
+			if sum.Drift == nil {
+				continue
+			}
+			mw.Sample(fam.name, float64(fam.value(sum.Drift)), site(sum.Name))
+		}
+	}
+
+	mw.Family("iupdater_drift_link_error_db", "gauge", "Per-link EWMA residual attribution for the top offending links (dB).")
+	for _, sum := range sums {
+		if sum.Drift == nil {
+			continue
+		}
+		for _, ld := range sum.Drift.TopLinks {
+			mw.Sample("iupdater_drift_link_error_db", ld.ErrDB,
+				site(sum.Name), obs.Label{Name: "link", Value: strconv.Itoa(ld.Link)})
+		}
+	}
+
+	mw.Family("iupdater_store_bytes", "gauge", "On-disk bytes across the store's retained snapshot records.")
+	for _, sum := range sums {
+		if !sum.Durable {
+			continue
+		}
+		var total int64
+		for _, rec := range sum.StoredRecords {
+			total += rec.Bytes
+		}
+		mw.Sample("iupdater_store_bytes", float64(total), site(sum.Name))
+	}
+	mw.Family("iupdater_store_records", "gauge", "Retained snapshot records by kind (full or delta).")
+	for _, sum := range sums {
+		if !sum.Durable {
+			continue
+		}
+		byKind := map[string]int{"full": 0, "delta": 0}
+		for _, rec := range sum.StoredRecords {
+			byKind[rec.Kind]++
+		}
+		for _, kind := range []string{"full", "delta"} {
+			mw.Sample("iupdater_store_records", float64(byKind[kind]),
+				site(sum.Name), obs.Label{Name: "kind", Value: kind})
+		}
+	}
+	mw.Family("iupdater_store_compactions_total", "counter", "Log rewrites that dropped history (manual and retention-driven).")
+	for _, sum := range sums {
+		st := s.sites[sum.Name]
+		if st.rep != nil || st.d.Store() == nil {
+			continue
+		}
+		mw.Sample("iupdater_store_compactions_total", float64(st.d.Store().Compactions()), site(sum.Name))
+	}
+
+	replicaGauges := []struct {
+		name, help string
+		value      func(*iupdater.ReplicaStatus) float64
+	}{
+		{"iupdater_replica_applied_version", "Newest snapshot version the follower has applied.",
+			func(st *iupdater.ReplicaStatus) float64 { return float64(st.Version) }},
+		{"iupdater_replica_leader_version", "Newest snapshot version the leader has advertised.",
+			func(st *iupdater.ReplicaStatus) float64 { return float64(st.LeaderVersion) }},
+		{"iupdater_replica_lag_versions", "Replication lag in snapshot versions.",
+			func(st *iupdater.ReplicaStatus) float64 { return float64(st.Lag) }},
+	}
+	for _, fam := range replicaGauges {
+		mw.Family(fam.name, "gauge", fam.help)
+		for _, sum := range sums {
+			if sum.Replica == nil {
+				continue
+			}
+			mw.Sample(fam.name, fam.value(sum.Replica), site(sum.Name))
+		}
+	}
+	replicaCounters := []struct {
+		name, help string
+		value      func(*iupdater.ReplicaStatus) uint64
+	}{
+		{"iupdater_replica_reconnects_total", "Failed leader polls, each retried over a fresh connection.",
+			func(st *iupdater.ReplicaStatus) uint64 { return st.Reconnects }},
+		{"iupdater_replica_rebootstraps_total", "Re-bootstraps from the leader's newest full record.",
+			func(st *iupdater.ReplicaStatus) uint64 { return st.Rebootstraps }},
+	}
+	for _, fam := range replicaCounters {
+		mw.Family(fam.name, "counter", fam.help)
+		for _, sum := range sums {
+			if sum.Replica == nil {
+				continue
+			}
+			mw.Sample(fam.name, float64(fam.value(sum.Replica)), site(sum.Name))
+		}
+	}
+
+	if err := mw.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("rendering metrics: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("iupdater: writing metrics response: %v", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -837,7 +1081,7 @@ func runServe(args []string) error {
 	srv.RegisterOnShutdown(s.cancelDrain)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving %d site(s) %v on %s (POST /locate|/update, GET /snapshot|/drift|/sites, POST /rollback; per-site under /sites/{name}/...)",
+	log.Printf("serving %d site(s) %v on %s (POST /locate|/update|/rollback, GET /snapshot|/drift|/records|/sites|/metrics|/healthz; per-site under /sites/{name}/...)",
 		len(s.sites), s.fleet.Names(), ln.Addr())
 	return serveUntil(ctx, srv, ln, *drainTimeout, func() {
 		// Monitors first (Fleet.Close waits out in-flight auto-updates,

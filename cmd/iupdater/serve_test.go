@@ -191,6 +191,9 @@ func TestServeMethodNotAllowed(t *testing.T) {
 		{http.MethodPost, "/sites/default/snapshot", "GET"},
 		{http.MethodPost, "/sites/default/drift", "GET"},
 		{http.MethodGet, "/sites/default/rollback", "POST"},
+		{http.MethodPost, "/records", "GET"},
+		{http.MethodDelete, "/sites/default/records", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
 		{http.MethodPost, "/healthz", "GET"},
 	}
 	for _, tc := range cases {

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iupdater/internal/core"
 	"iupdater/internal/fingerprint"
 	"iupdater/internal/geom"
 	"iupdater/internal/loc"
+	"iupdater/internal/obs"
 )
 
 // Geometry describes the deployment layout needed to turn fingerprint
@@ -200,6 +202,11 @@ func (s *Snapshot) SearchStats() SearchStats {
 	return SearchStats{Queries: st.Queries, ColumnEvals: st.ColumnEvals, ShardEvals: st.ShardEvals}
 }
 
+// SearchTier names the snapshot's active candidate-search tier:
+// "pruned" (the default), "exact" (WithExactSearch) or "sharded"
+// (WithShardedSearch).
+func (s *Snapshot) SearchTier() string { return s.ix.Mode().String() }
+
 // Version returns the snapshot's monotonically increasing version number.
 // The initial database installed by NewDeployment is version 1.
 func (s *Snapshot) Version() uint64 { return s.version }
@@ -278,6 +285,11 @@ type Deployment struct {
 
 	snap atomic.Pointer[Snapshot]
 
+	// lat is the cumulative locate-latency histogram (seconds) across
+	// every query path and snapshot version; the serve layer labels and
+	// exposes it on /metrics.
+	lat *obs.Histogram
+
 	// mu serializes the write path and guards updater, which holds the
 	// reference locations and correlation matrix of the latest Refresh.
 	mu      sync.Mutex
@@ -313,6 +325,7 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 		grid: grid,
 		cfg:  cfg,
 		subs: make(map[uint64]chan *Snapshot),
+		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
 	}
 	// A store that already holds history (a previous deployment life,
 	// e.g. before a fresh full survey) keeps the version line monotonic:
@@ -365,6 +378,7 @@ func newDeploymentAt(fingerprints Matrix, g Geometry, version uint64, opts ...Op
 		grid: grid,
 		cfg:  cfg,
 		subs: make(map[uint64]chan *Snapshot),
+		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
 	}
 	snap := newSnapshot(version, fingerprints.Clone(), grid, cfg.search)
 	if cfg.store != nil {
@@ -409,6 +423,7 @@ func OpenDeployment(st *Store, opts ...Option) (*Deployment, error) {
 		grid: grid,
 		cfg:  cfg,
 		subs: make(map[uint64]chan *Snapshot),
+		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
 	}
 	// fp was decoded into fresh storage, so no defensive clone is needed.
 	d.snap.Store(newSnapshot(version, fp, grid, cfg.search))
@@ -659,22 +674,37 @@ func (d *Deployment) Updates() (<-chan *Snapshot, func()) {
 	return ch, cancel
 }
 
+// LocateLatency returns the deployment's cumulative locate-latency
+// histogram (seconds): every Locate/LocateCell/LocateMultiple call is
+// one observation, a LocateBatch call one per batch. Safe for
+// concurrent use; the serve layer exposes it on /metrics.
+func (d *Deployment) LocateLatency() *obs.Histogram { return d.lat }
+
 // Locate estimates the target position for one online RSS vector against
 // the latest snapshot.
 func (d *Deployment) Locate(rss []float64) (Position, error) {
-	return d.snap.Load().Locate(rss)
+	start := time.Now()
+	p, err := d.snap.Load().Locate(rss)
+	d.lat.Observe(time.Since(start).Seconds())
+	return p, err
 }
 
 // LocateCell estimates the strip-major grid cell index against the latest
 // snapshot.
 func (d *Deployment) LocateCell(rss []float64) (int, error) {
-	return d.snap.Load().LocateCell(rss)
+	start := time.Now()
+	cell, err := d.snap.Load().LocateCell(rss)
+	d.lat.Observe(time.Since(start).Seconds())
+	return cell, err
 }
 
 // LocateMultiple estimates up to maxTargets simultaneous targets against
 // the latest snapshot.
 func (d *Deployment) LocateMultiple(rss []float64, maxTargets int) ([]Position, error) {
-	return d.snap.Load().LocateMultiple(rss, maxTargets)
+	start := time.Now()
+	pts, err := d.snap.Load().LocateMultiple(rss, maxTargets)
+	d.lat.Observe(time.Since(start).Seconds())
+	return pts, err
 }
 
 // LocateBatch localizes a batch of online measurements against one
@@ -682,5 +712,8 @@ func (d *Deployment) LocateMultiple(rss []float64, maxTargets int) ([]Position, 
 // deployment's worker pool (see WithWorkers). Results are in input order;
 // the first error or a context cancellation aborts the remaining work.
 func (d *Deployment) LocateBatch(ctx context.Context, rss [][]float64) ([]Position, error) {
-	return d.snap.Load().LocateBatch(ctx, rss, d.cfg.workers)
+	start := time.Now()
+	pts, err := d.snap.Load().LocateBatch(ctx, rss, d.cfg.workers)
+	d.lat.Observe(time.Since(start).Seconds())
+	return pts, err
 }

@@ -157,18 +157,21 @@
 // version line), with one Close for the whole lifecycle and Summaries
 // as the aggregated dashboard. cmd/iupdater serve exposes it over HTTP:
 //
-//	GET  /sites                        fleet dashboard (version + drift per site)
+//	GET  /sites                        fleet dashboard (version, search tier, drift per site)
 //	GET  /sites/{name}                 one site's summary incl. retained versions
 //	POST /sites/{name}/locate          localization (single or batch)
 //	POST /sites/{name}/update          database refresh (raw or testbed-driven)
 //	GET  /sites/{name}/snapshot        the serving fingerprint database
 //	GET  /sites/{name}/drift           monitor counters (404 without -monitor)
 //	POST /sites/{name}/rollback?version=N  republish a retained version
+//	GET  /sites/{name}/records         record-log stream for follower replicas
+//	GET  /metrics                      fleet-wide Prometheus text exposition
+//	GET  /healthz                      liveness (serving version + site count)
 //
 // The original single-site routes (/locate, /update, /snapshot, /drift,
-// /rollback) remain as aliases for the default site; every route
-// answers wrong-method hits with 405 and an Allow header. Sites are
-// declared with -sites name=env,...; -data-dir roots the per-site
+// /rollback, /records) remain as aliases for the default site; every
+// route answers wrong-method hits with 405 and an Allow header. Sites
+// are declared with -sites name=env,...; -data-dir roots the per-site
 // stores and makes restarts warm; -retain bounds each store.
 //
 // # Replication — the record log as a wire protocol
@@ -208,6 +211,68 @@
 // takeover version — seeding an attached store with a full snapshot at
 // that version first, so the handover itself is durable. Promotion is
 // one-way and at-most-once; there is deliberately no leader election.
+//
+// # Observability — /metrics, drift attribution, adaptive cooldown
+//
+// The internal/obs package is a zero-dependency metrics layer: atomic
+// counters and gauges, fixed-bucket latency histograms whose Observe is
+// lock-free and allocation-free (enforced by testing.AllocsPerRun), and
+// a writer for the Prometheus text exposition format 0.0.4 — no client
+// library, nothing on the query hot path but a few atomic adds.
+// cmd/iupdater serve aggregates every site into one GET /metrics; each
+// sample carries a site label, so one scrape covers the whole fleet:
+//
+//	iupdater_locate_latency_seconds        histogram {site}       end-to-end locate latency
+//	iupdater_snapshot_version              gauge     {site}       serving snapshot version
+//	iupdater_search_queries_total          counter   {site,tier}  candidate searches answered
+//	iupdater_search_column_evals_total     counter   {site,tier}  full column distance evaluations
+//	iupdater_search_shard_evals_total      counter   {site,tier}  coarse shard-routing evaluations
+//	iupdater_drift_residual_db             gauge     {site}       latest residual (dB)
+//	iupdater_drift_score                   gauge     {site}       drift-detector score
+//	iupdater_drift_cooldown_remaining      gauge     {site}       queries until the next update may fire
+//	iupdater_drift_queries_total           counter   {site}       measurements observed
+//	iupdater_drift_detections_total        counter   {site}       post-hysteresis detections
+//	iupdater_drift_updates_triggered_total counter   {site}       auto-updates started
+//	iupdater_drift_updates_completed_total counter   {site}       auto-updates published
+//	iupdater_drift_update_errors_total     counter   {site}       auto-updates failed
+//	iupdater_drift_detections_suppressed_total counter {site}     detections eaten by cooldown/in-flight
+//	iupdater_drift_link_error_db           gauge     {site,link}  top-k per-link attribution (dB)
+//	iupdater_store_bytes                   gauge     {site}       retained record bytes on disk
+//	iupdater_store_records                 gauge     {site,kind}  retained records by kind (full/delta)
+//	iupdater_store_compactions_total       counter   {site}       history-dropping log rewrites
+//	iupdater_replica_applied_version       gauge     {site}       newest version the follower applied
+//	iupdater_replica_leader_version        gauge     {site}       newest version the leader advertised
+//	iupdater_replica_lag_versions          gauge     {site}       replication lag in versions
+//	iupdater_replica_reconnects_total      counter   {site}       failed leader polls
+//	iupdater_replica_rebootstraps_total    counter   {site}       restarts from a full record
+//
+// The search counters reset whenever a new snapshot version publishes
+// (each version carries a fresh index) — an ordinary Prometheus counter
+// reset. Families a site has no data for (drift on an unmonitored site,
+// replication on a writer) simply carry no sample for that site.
+//
+// The monitor attributes its residual per link: Observe decomposes each
+// measurement's distance to the nearest fingerprint column into
+// per-link absolute errors and folds them into an exponentially
+// weighted moving average (drift.Attribution), so the top-k offending
+// links — the links whose RSS has moved furthest from the database,
+// i.e. where the environment changed — are ranked in MonitorStats
+// .TopLinks, GET /drift's top_links, and the link-labeled gauge above.
+// The EWMA resets on every published snapshot, since a fresh database
+// redefines what "offending" means. WithDriftAttributionTopK sets k
+// (default 3); Monitor.TopLinksInto is the allocation-free accessor.
+//
+// Updates are rate-limited by a cooldown, and by default the cooldown
+// adapts to how bad the drift is: after each triggered update the next
+// cooldown is ceiling/(1 + sensitivity*excess), floor-clamped, where
+// excess is how many calibrated baseline standard deviations the
+// current residual sits above the detector's mean. Mild drift keeps
+// updates ceiling-spaced (1000 queries, the old fixed default); violent
+// drift shortens the window toward the floor (100) so the next refresh
+// lands sooner — without ever touching the detection path itself, so
+// stationary traffic triggers exactly as few updates as before.
+// WithAdaptiveCooldown(floor, ceiling, sensitivity) tunes the policy;
+// WithUpdateCooldown(n) restores the fixed-width window.
 //
 // # Query-path performance — the snapshot-time locate index
 //

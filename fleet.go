@@ -62,6 +62,9 @@ func (s *Site) Summary() SiteSummary {
 		if g, ok := s.rep.geometry(); ok {
 			sum.Links, sum.Cells = g.Links, g.NumCells()
 		}
+		if snap := s.rep.Snapshot(); snap != nil {
+			sum.Search = &SearchSummary{Tier: snap.SearchTier(), Stats: snap.SearchStats()}
+		}
 		if st := s.rep.storeRef(); st != nil {
 			sum.Durable = true
 			sum.StoredVersions = st.Versions()
@@ -69,11 +72,13 @@ func (s *Site) Summary() SiteSummary {
 		}
 		return sum
 	}
+	snap := s.dep.Snapshot()
 	sum := SiteSummary{
 		Name:    s.name,
 		Version: s.dep.Version(),
 		Links:   s.dep.Geometry().Links,
 		Cells:   s.dep.Geometry().NumCells(),
+		Search:  &SearchSummary{Tier: snap.SearchTier(), Stats: snap.SearchStats()},
 	}
 	if st := s.dep.Store(); st != nil {
 		sum.Durable = true
@@ -108,11 +113,23 @@ type SiteSummary struct {
 	// (full snapshot or delta, and its byte footprint), nil for
 	// in-memory sites.
 	StoredRecords []RecordInfo
+	// Search carries the serving snapshot's candidate-search tier and
+	// cumulative work counters, nil for a replica that has not applied
+	// its first snapshot yet. The counters are per snapshot version:
+	// every publish starts a fresh index.
+	Search *SearchSummary
 	// Drift carries the monitor counters, nil for unmonitored sites.
 	Drift *MonitorStats
 	// Replica carries the replication state (source, applied and leader
 	// versions, lag), nil for writer sites.
 	Replica *ReplicaStatus
+}
+
+// SearchSummary pairs the serving snapshot's candidate-search tier
+// ("pruned", "exact" or "sharded") with its cumulative SearchStats.
+type SearchSummary struct {
+	Tier  string
+	Stats SearchStats
 }
 
 // NewFleet returns an empty fleet.

@@ -82,3 +82,27 @@ func (r *Residualizer) Residual(y, scratch []float64) float64 {
 	_, best := r.ix.NearestCentered(yc)
 	return math.Sqrt(best / float64(m))
 }
+
+// ResidualAttributed is Residual plus per-link attribution: perLink[i]
+// receives the absolute shape error |yc[i] - col[i]| (dB) between the
+// centered query and its best-matching centered fingerprint column at
+// link i — the per-link terms the RMS residual collapses. perLink must
+// have length >= Links(); no allocation is performed.
+func (r *Residualizer) ResidualAttributed(y, scratch, perLink []float64) float64 {
+	m := r.m
+	var mean float64
+	for _, v := range y[:m] {
+		mean += v
+	}
+	mean /= float64(m)
+	yc := scratch[:m]
+	for i, v := range y[:m] {
+		yc[i] = v - mean
+	}
+	bestJ, best := r.ix.NearestCentered(yc)
+	col := r.ix.CenteredCol(bestJ)
+	for i := range yc {
+		perLink[i] = math.Abs(yc[i] - col[i])
+	}
+	return math.Sqrt(best / float64(m))
+}

@@ -27,15 +27,29 @@ type DriftRunConfig struct {
 	// FlipAt is the query index at which the environment changes; <= 0
 	// runs the stationary control (no change ever).
 	FlipAt int
+	// SecondFlipAt is an optional second environment change (a query
+	// index after FlipAt) at which the age jumps again, to SecondAge —
+	// the scenario that scores how fast the monitor reacts to drift
+	// landing inside the post-update cooldown window.
+	SecondFlipAt int
 	// PreAge and PostAge are the deployment ages before and after the
-	// flip (defaults 1 h and 45 days).
-	PreAge, PostAge time.Duration
+	// flip (defaults 1 h and 45 days); SecondAge is the age after the
+	// second flip (default 90 days).
+	PreAge, PostAge, SecondAge time.Duration
 	// QuerySpacing is the simulated time between queries (default
 	// 500 ms, the RSS beacon interval).
 	QuerySpacing time.Duration
 	// Monitor options; zero values select the Monitor defaults.
+	// Cooldown > 0 selects the fixed-width cooldown; otherwise the
+	// Monitor's residual-driven adaptive policy runs, tuned by the
+	// Adaptive knobs when set.
 	Detector             iupdater.DriftDetector
 	Hysteresis, Cooldown int
+	// AdaptiveFloor, AdaptiveCeiling and AdaptiveSensitivity tune the
+	// adaptive cooldown (zero values keep the Monitor defaults);
+	// ignored when Cooldown > 0.
+	AdaptiveFloor, AdaptiveCeiling int
+	AdaptiveSensitivity            float64
 }
 
 func (c DriftRunConfig) withDefaults() DriftRunConfig {
@@ -51,6 +65,9 @@ func (c DriftRunConfig) withDefaults() DriftRunConfig {
 	if c.PostAge <= 0 {
 		c.PostAge = 45 * 24 * time.Hour
 	}
+	if c.SecondFlipAt > 0 && c.SecondAge <= 0 {
+		c.SecondAge = 90 * 24 * time.Hour
+	}
 	if c.QuerySpacing <= 0 {
 		c.QuerySpacing = 500 * time.Millisecond
 	}
@@ -64,6 +81,11 @@ type DriftRunResult struct {
 	// DetectionDelay is the number of queries between the flip and the
 	// first detection (-1 if never detected, 0 on the flip query).
 	DetectionDelay int
+	// SecondUpdateDelay is the number of queries between the second
+	// flip and the monitor's second triggered update (-1 when no second
+	// flip was configured or it never fired) — the cooldown policy's
+	// reaction time to repeat drift.
+	SecondUpdateDelay int
 	// AutoErrDB, ManualErrDB and StaleErrDB are the mean |database -
 	// truth| in dB over the labor-cost entries at the end of the run,
 	// for the auto-updated database, a manually updated one (operator
@@ -100,6 +122,8 @@ func DriftMonitorRun(cfg DriftRunConfig) (DriftRunResult, error) {
 	}
 	if cfg.Cooldown > 0 {
 		opts = append(opts, iupdater.WithUpdateCooldown(cfg.Cooldown))
+	} else if cfg.AdaptiveFloor > 0 || cfg.AdaptiveCeiling > 0 || cfg.AdaptiveSensitivity > 0 {
+		opts = append(opts, iupdater.WithAdaptiveCooldown(cfg.AdaptiveFloor, cfg.AdaptiveCeiling, cfg.AdaptiveSensitivity))
 	}
 	mon, err := iupdater.NewMonitor(d, tb.Sampler(func() time.Duration { return clock }), opts...)
 	if err != nil {
@@ -108,11 +132,14 @@ func DriftMonitorRun(cfg DriftRunConfig) (DriftRunResult, error) {
 	defer mon.Close()
 
 	rng := rand.New(rand.NewSource(int64(cfg.Seed)*7919 + 17))
-	res := DriftRunResult{DetectionDelay: -1}
+	res := DriftRunResult{DetectionDelay: -1, SecondUpdateDelay: -1}
 	for q := 0; q < cfg.Queries; q++ {
 		age := cfg.PreAge
 		if cfg.FlipAt > 0 && q >= cfg.FlipAt {
 			age = cfg.PostAge
+		}
+		if cfg.SecondFlipAt > 0 && q >= cfg.SecondFlipAt {
+			age = cfg.SecondAge
 		}
 		clock = age + time.Duration(q)*cfg.QuerySpacing
 		cell := rng.Intn(tb.NumCells())
@@ -122,8 +149,12 @@ func DriftMonitorRun(cfg DriftRunConfig) (DriftRunResult, error) {
 		if err := mon.Observe(tb.MeasureOnline(x, y, clock)); err != nil {
 			return DriftRunResult{}, err
 		}
-		if res.DetectionDelay < 0 && mon.Stats().Detections > 0 {
+		stats := mon.Stats()
+		if res.DetectionDelay < 0 && stats.Detections > 0 {
 			res.DetectionDelay = q - cfg.FlipAt
+		}
+		if cfg.SecondFlipAt > 0 && res.SecondUpdateDelay < 0 && q >= cfg.SecondFlipAt && stats.UpdatesTriggered >= 2 {
+			res.SecondUpdateDelay = q - cfg.SecondFlipAt
 		}
 	}
 	res.Stats = mon.Stats()

@@ -80,6 +80,64 @@ func TestDriftFlipDetectedAndRepaired(t *testing.T) {
 	}
 }
 
+// TestDriftAdaptiveCooldownBeatsFixed double-flips the environment:
+// the first flip triggers an auto-update, and the second lands while a
+// fixed-width cooldown would still be counting down. The residual-driven
+// adaptive policy (same 1000-query ceiling as the fixed default) must
+// trigger the needed second update strictly sooner than the fixed
+// policy, with exactly the same number of total updates — faster
+// reaction, no extra churn. The stationary control then shows the
+// adaptive default raises no false updates either.
+func TestDriftAdaptiveCooldownBeatsFixed(t *testing.T) {
+	base := DriftRunConfig{
+		Seed:         1,
+		Queries:      2200,
+		FlipAt:       400,
+		SecondFlipAt: 1000,
+	}
+	fixedCfg := base
+	fixedCfg.Cooldown = 1000 // the old fixed default, explicitly
+	fixed, err := DriftMonitorRun(fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := DriftMonitorRun(base) // adaptive is the Monitor default
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fixed.Stats.UpdatesTriggered < 2 {
+		t.Fatalf("fixed arm never reached the second update: %+v", fixed.Stats)
+	}
+	if adaptive.Stats.UpdatesTriggered < 2 {
+		t.Fatalf("adaptive arm never reached the second update: %+v", adaptive.Stats)
+	}
+	if fixed.SecondUpdateDelay < 0 || adaptive.SecondUpdateDelay < 0 {
+		t.Fatalf("second-update delays not recorded: fixed %d adaptive %d",
+			fixed.SecondUpdateDelay, adaptive.SecondUpdateDelay)
+	}
+	t.Logf("second update: adaptive after %d queries, fixed after %d",
+		adaptive.SecondUpdateDelay, fixed.SecondUpdateDelay)
+	if adaptive.SecondUpdateDelay >= fixed.SecondUpdateDelay {
+		t.Errorf("adaptive second update after %d queries, fixed after %d — adaptive must react sooner",
+			adaptive.SecondUpdateDelay, fixed.SecondUpdateDelay)
+	}
+	if adaptive.Stats.UpdatesTriggered != fixed.Stats.UpdatesTriggered {
+		t.Errorf("adaptive triggered %d updates vs fixed %d — faster must not mean more",
+			adaptive.Stats.UpdatesTriggered, fixed.Stats.UpdatesTriggered)
+	}
+
+	// Stationary control under the adaptive default: no false updates.
+	still, err := DriftMonitorRun(DriftRunConfig{Seed: 1, Queries: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.Stats.Detections != 0 || still.Stats.UpdatesTriggered != 0 {
+		t.Errorf("stationary adaptive run: %d detections, %d updates, want none",
+			still.Stats.Detections, still.Stats.UpdatesTriggered)
+	}
+}
+
 // TestDriftRunDeterministic re-runs one flip scenario and requires
 // bit-identical outcomes: the whole loop (measurement, residual,
 // detection, reference survey, reconstruction) is seeded.

@@ -34,6 +34,19 @@ const (
 	SearchSharded
 )
 
+// String names the search tier ("pruned", "exact", "sharded") for
+// summaries and metric labels.
+func (m SearchMode) String() string {
+	switch m {
+	case SearchExact:
+		return "exact"
+	case SearchSharded:
+		return "sharded"
+	default:
+		return "pruned"
+	}
+}
+
 // IndexConfig tunes an Index.
 type IndexConfig struct {
 	// Mode selects the search tier; the zero value is SearchPruned.
@@ -262,6 +275,11 @@ func (ix *Index) rawCol(j int) []float64 { return ix.raw.data[j*ix.m : (j+1)*ix.
 
 // unitCol returns location j's centered, normalized column (a view).
 func (ix *Index) unitCol(j int) []float64 { return ix.unit.data[j*ix.m : (j+1)*ix.m] }
+
+// CenteredCol returns location j's mean-centered column (a read-only
+// view). Drift attribution reads the best-match column through it to
+// break the residual back into per-link errors.
+func (ix *Index) CenteredCol(j int) []float64 { return ix.cen.data[j*ix.m : (j+1)*ix.m] }
 
 // colNorms returns the per-column centered norms (a view; do not
 // modify — copy before masking).

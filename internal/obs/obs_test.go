@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge reads %v", g.Value())
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper bounds: 0.5,1 | 1.5,2 | 4,5 | 100.
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if math.Abs(s.Sum-114) > 1e-9 {
+		t.Errorf("sum = %v, want 114", s.Sum)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets...)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(3e-6) })
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestWriterExposition(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Family("demo_total", "counter", `a "quoted" help with \ and
+newline`)
+	w.Sample("demo_total", 3, Label{Name: "site", Value: `a"b\c`})
+	h := NewHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	w.Family("demo_seconds", "histogram", "latency")
+	w.Histogram("demo_seconds", h.Snapshot(), Label{Name: "site", Value: "x"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# HELP demo_total a \"quoted\" help with \\\\ and\\nnewline\n" +
+		"# TYPE demo_total counter\n" +
+		"demo_total{site=\"a\\\"b\\\\c\"} 3\n" +
+		"# HELP demo_seconds latency\n" +
+		"# TYPE demo_seconds histogram\n" +
+		"demo_seconds_bucket{site=\"x\",le=\"0.1\"} 1\n" +
+		"demo_seconds_bucket{site=\"x\",le=\"1\"} 2\n" +
+		"demo_seconds_bucket{site=\"x\",le=\"+Inf\"} 3\n" +
+		"demo_seconds_sum{site=\"x\"} 2.55\n" +
+		"demo_seconds_count{site=\"x\"} 3\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriterSpecialValues(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Sample("g", math.Inf(1))
+	w.Sample("g", math.Inf(-1))
+	w.Sample("g", math.NaN())
+	got := sb.String()
+	if got != "g +Inf\ng -Inf\ng NaN\n" {
+		t.Fatalf("special values: %q", got)
+	}
+}

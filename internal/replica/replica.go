@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iupdater/internal/obs"
 	"iupdater/internal/store"
 )
 
@@ -84,6 +85,9 @@ type Tailer struct {
 
 	applied atomic.Uint64 // newest version applied locally
 	leader  atomic.Uint64 // newest version the leader advertised
+
+	reconnects   obs.Counter // failed polls (each is followed by a fresh connection)
+	rebootstraps obs.Counter // re-bootstraps from the leader's newest full record
 }
 
 // New validates the configuration and returns a Tailer ready to Run.
@@ -124,6 +128,16 @@ func (t *Tailer) Applied() uint64 { return t.applied.Load() }
 // difference against Applied is the replication lag in versions.
 func (t *Tailer) LeaderVersion() uint64 { return t.leader.Load() }
 
+// Reconnects counts failed polls — transport errors, non-200 leader
+// responses, or rejected frames — each of which drops the connection
+// and retries under backoff.
+func (t *Tailer) Reconnects() uint64 { return t.reconnects.Value() }
+
+// Rebootstraps counts the times the Tailer discarded its follower state
+// and re-requested the leader's newest full record (compaction gap or
+// apply-failure streak).
+func (t *Tailer) Rebootstraps() uint64 { return t.rebootstraps.Value() }
+
 // errCompacted marks a 410 response: the resume version precedes the
 // leader's compaction horizon.
 var errCompacted = errors.New("replica: resume version precedes the leader's compaction horizon")
@@ -157,6 +171,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		t.reconnects.Inc()
 		if errors.Is(err, errCompacted) {
 			// The records we were waiting for are gone for good;
 			// re-request the newest full record instead of retrying.
@@ -188,6 +203,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 func (t *Tailer) rebootstrap() {
 	t.next = 0
 	t.replay = store.Replay{}
+	t.rebootstraps.Inc()
 }
 
 // poll issues one records request and applies every frame it returns.

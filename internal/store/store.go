@@ -179,6 +179,10 @@ type Store struct {
 	// can re-delta the retained suffix with the same chunking.
 	layout   Layout
 	layoutOK bool
+	// compactions counts log rewrites that actually dropped history
+	// this store life (manual Compact and the automatic post-append
+	// policy alike); no-op calls don't count.
+	compactions uint64
 }
 
 // Open opens (creating if needed) the store directory and recovers the
@@ -670,6 +674,14 @@ func (s *Store) lastVersionLocked() uint64 {
 	return s.idx[len(s.idx)-1].version
 }
 
+// Compactions returns how many times this store life rewrote the log to
+// drop history (see Compact and Options.Retain).
+func (s *Store) Compactions() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compactions
+}
+
 // Compact applies the retention policy now, rewriting the log to hold
 // only the newest Retain versions. A no-op when Retain is 0 or nothing
 // exceeds it.
@@ -776,6 +788,7 @@ func (s *Store) compactLocked() error {
 	s.f = tmp
 	s.idx = newIdx
 	s.size = off
+	s.compactions++
 	if !s.opts.NoSync {
 		if err := syncDir(s.dir); err != nil {
 			return err

@@ -129,6 +129,11 @@ type monitorConfig struct {
 	detector   DriftDetector
 	hysteresis int
 	cooldown   int
+	adaptive   bool
+	acFloor    int
+	acCeil     int
+	acSens     float64
+	topK       int
 	sync       bool
 }
 
@@ -145,12 +150,63 @@ func WithDriftHysteresis(n int) MonitorOption {
 	return func(c *monitorConfig) { c.hysteresis = n }
 }
 
-// WithUpdateCooldown sets the minimum number of observed queries between
-// auto-triggered updates (default 1000). Detections during the cooldown
-// are counted and suppressed, rate-limiting the reference surveys (each
-// one costs real human labor) no matter how noisy the detector is.
+// WithUpdateCooldown fixes the minimum number of observed queries
+// between auto-triggered updates to a constant, disabling the default
+// residual-driven adaptive cooldown (see WithAdaptiveCooldown).
+// Detections during the cooldown are counted and suppressed,
+// rate-limiting the reference surveys (each one costs real human labor)
+// no matter how noisy the detector is.
 func WithUpdateCooldown(queries int) MonitorOption {
-	return func(c *monitorConfig) { c.cooldown = queries }
+	return func(c *monitorConfig) {
+		c.cooldown = queries
+		c.adaptive = false
+	}
+}
+
+// Adaptive-cooldown defaults: the ceiling matches the historical fixed
+// cooldown, the floor still spans several detector windows, and the
+// sensitivity halves the cooldown four floor-sigmas above the
+// calibrated residual floor.
+const (
+	defaultCooldownFloor   = 100
+	defaultCooldownCeiling = 1000
+	defaultCooldownSens    = 0.25
+)
+
+// WithAdaptiveCooldown tunes the residual-driven adaptive cooldown
+// (the default policy): when an update triggers, the next cooldown is
+//
+//	ceiling / (1 + sensitivity * excess)
+//
+// clamped to [floor, ceiling], where excess is how many calibrated
+// floor-sigmas the triggering residual sits above the detector's
+// baseline mean. A mild drift keeps the full ceiling between surveys; a
+// violent one (residual many sigmas out, localization actively
+// degrading) shortens the wait toward the floor so a follow-up update
+// is not blocked behind a rate limit sized for noise. Detectors without
+// a calibrated baseline (see DriftDetector) always wait the ceiling.
+// Non-positive arguments select the defaults (100, 1000, 0.25);
+// WithUpdateCooldown switches back to the fixed policy.
+func WithAdaptiveCooldown(floor, ceiling int, sensitivity float64) MonitorOption {
+	return func(c *monitorConfig) {
+		c.adaptive = true
+		if floor > 0 {
+			c.acFloor = floor
+		}
+		if ceiling > 0 {
+			c.acCeil = ceiling
+		}
+		if sensitivity > 0 {
+			c.acSens = sensitivity
+		}
+	}
+}
+
+// WithDriftAttributionTopK sets how many worst-offending links
+// MonitorStats.TopLinks reports (default 3, capped at the deployment's
+// link count).
+func WithDriftAttributionTopK(k int) MonitorOption {
+	return func(c *monitorConfig) { c.topK = k }
 }
 
 // WithSynchronousUpdates makes a triggered update run inline in the
@@ -161,6 +217,17 @@ func WithUpdateCooldown(queries int) MonitorOption {
 // reconstruction.
 func WithSynchronousUpdates() MonitorOption {
 	return func(c *monitorConfig) { c.sync = true }
+}
+
+// LinkDrift attributes drift to one RF link: the exponentially
+// weighted moving average of the link's absolute shape error (dB)
+// between centered online queries and their best-matching centered
+// fingerprint columns. One link dominating while the rest stay flat
+// suggests a hardware fault on that link; a broad rise across links is
+// environment drift.
+type LinkDrift struct {
+	Link  int     `json:"link"`
+	ErrDB float64 `json:"err_db"`
 }
 
 // MonitorStats is a point-in-time snapshot of a Monitor's counters.
@@ -186,6 +253,10 @@ type MonitorStats struct {
 	// CooldownRemaining is the number of queries left before another
 	// update may trigger.
 	CooldownRemaining int
+	// TopLinks are the worst-offending links by attributed drift error,
+	// descending (empty until the first observation after a snapshot
+	// change). See LinkDrift.
+	TopLinks []LinkDrift
 	// UpdateInFlight reports an asynchronous update still running.
 	UpdateInFlight bool
 	// SnapshotVersion is the deployment's latest published version.
@@ -225,6 +296,8 @@ type Monitor struct {
 	res        *drift.Residualizer
 	resVersion uint64
 	scratch    []float64
+	perLink    []float64
+	attr       *drift.Attribution
 	consec     int
 	cooldown   int
 	updating   bool
@@ -273,7 +346,15 @@ func NewMonitor(d *Deployment, sampler ReferenceSampler, opts ...MonitorOption) 
 	if d == nil {
 		return nil, errors.New("iupdater: NewMonitor: nil deployment")
 	}
-	cfg := monitorConfig{hysteresis: 4, cooldown: 1000}
+	cfg := monitorConfig{
+		hysteresis: 4,
+		cooldown:   defaultCooldownCeiling,
+		adaptive:   true,
+		acFloor:    defaultCooldownFloor,
+		acCeil:     defaultCooldownCeiling,
+		acSens:     defaultCooldownSens,
+		topK:       3,
+	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -286,11 +367,22 @@ func NewMonitor(d *Deployment, sampler ReferenceSampler, opts ...MonitorOption) 
 	if cfg.cooldown < 0 {
 		cfg.cooldown = 0
 	}
+	if cfg.acFloor > cfg.acCeil {
+		cfg.acFloor = cfg.acCeil
+	}
+	if cfg.topK < 1 {
+		cfg.topK = 3
+	}
+	if cfg.topK > d.geo.Links {
+		cfg.topK = d.geo.Links
+	}
 	m := &Monitor{
 		d:       d,
 		sampler: sampler,
 		cfg:     cfg,
 		scratch: make([]float64, d.geo.Links),
+		perLink: make([]float64, d.geo.Links),
+		attr:    drift.NewAttribution(d.geo.Links, 0),
 	}
 	m.bd, _ = cfg.detector.(baselineDetector)
 	if st := d.cfg.store; st != nil {
@@ -376,11 +468,13 @@ func (m *Monitor) Observe(rss []float64) error {
 		}
 		m.restoredOK = false
 		m.consec = 0
+		m.attr.Reset()
 	}
 	if len(rss) != m.res.Links() {
 		return fmt.Errorf("iupdater: measurement has %d links, deployment has %d", len(rss), m.res.Links())
 	}
-	r := m.res.Residual(rss, m.scratch)
+	r := m.res.ResidualAttributed(rss, m.scratch, m.perLink)
+	m.attr.Observe(m.perLink)
 	m.stats.Queries++
 	m.stats.Residual = r
 	if m.cooldown > 0 {
@@ -423,11 +517,36 @@ func (m *Monitor) Observe(rss []float64) error {
 	return nil
 }
 
+// nextCooldownLocked computes the cooldown armed by a triggered update.
+// The fixed policy (WithUpdateCooldown) returns its constant; the
+// adaptive default shrinks the ceiling toward the floor as the
+// triggering residual rises above the detector's calibrated floor —
+// see WithAdaptiveCooldown for the formula. m.mu must be held.
+func (m *Monitor) nextCooldownLocked() int {
+	if !m.cfg.adaptive {
+		return m.cfg.cooldown
+	}
+	excess := 0.0
+	if m.bd != nil {
+		if mu, sigma, ok := m.bd.Baseline(); ok && sigma > 0 {
+			excess = (m.stats.Residual - mu) / sigma
+		}
+	}
+	if excess < 0 {
+		excess = 0
+	}
+	cd := float64(m.cfg.acCeil) / (1 + m.cfg.acSens*excess)
+	if cd < float64(m.cfg.acFloor) {
+		return m.cfg.acFloor
+	}
+	return int(cd)
+}
+
 // triggerUpdateLocked starts the auto-update. m.mu must be held.
 func (m *Monitor) triggerUpdateLocked() {
 	m.updating = true
 	m.stats.UpdatesTriggered++
-	m.cooldown = m.cfg.cooldown
+	m.cooldown = m.nextCooldownLocked()
 	if m.cfg.sync {
 		// Inline: Observe returns only after the new snapshot (or the
 		// failure) is in place. performUpdate takes no monitor state, so
@@ -488,7 +607,9 @@ func (m *Monitor) Sync() {
 	m.mu.Unlock()
 }
 
-// Stats returns a consistent snapshot of the monitor's counters.
+// Stats returns a consistent snapshot of the monitor's counters,
+// including the top-k drift-attributed links (k set by
+// WithDriftAttributionTopK).
 func (m *Monitor) Stats() MonitorStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -496,7 +617,26 @@ func (m *Monitor) Stats() MonitorStats {
 	s.CooldownRemaining = m.cooldown
 	s.UpdateInFlight = m.updating
 	s.SnapshotVersion = m.d.Version()
+	links := make([]int, m.cfg.topK)
+	errs := make([]float64, m.cfg.topK)
+	if n := m.attr.TopK(links, errs); n > 0 {
+		s.TopLinks = make([]LinkDrift, n)
+		for i := 0; i < n; i++ {
+			s.TopLinks[i] = LinkDrift{Link: links[i], ErrDB: errs[i]}
+		}
+	}
 	return s
+}
+
+// TopLinksInto is the allocation-free form of MonitorStats.TopLinks:
+// it fills links/errs (parallel slices; their shared length caps k)
+// with the worst drift-attributed links in descending error order and
+// returns how many entries were written. Scrape loops reading
+// attribution per request use it to stay off the allocator.
+func (m *Monitor) TopLinksInto(links []int, errs []float64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attr.TopK(links, errs)
 }
 
 // Close stops the monitor — subsequent Observe calls fail — and waits

@@ -287,6 +287,177 @@ func TestMonitorObserveAllocBudget(t *testing.T) {
 	}
 }
 
+// TestInstrumentedHotPathsAllocFree pins the observability cost of the
+// query path at zero: Locate (timing every call into the latency
+// histogram) and Monitor.Observe (folding per-link attribution into the
+// EWMA tracker) must stay allocation-free in steady state.
+func TestInstrumentedHotPathsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items, so pooled paths allocate")
+	}
+	_, d, query := monitorFixture(t, 1)
+	m, err := NewMonitor(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	queries := make([][]float64, 512)
+	for i := range queries {
+		queries[i] = query(i, time.Hour)
+	}
+	// Warm both paths past calibration and scratch-pool setup.
+	for _, q := range queries {
+		if _, err := d.Locate(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Observe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var i int
+	if allocs := testing.AllocsPerRun(400, func() {
+		d.Locate(queries[i&511])
+		i++
+	}); allocs > 0 {
+		t.Errorf("instrumented Locate allocates %.1f per query, want 0", allocs)
+	}
+	i = 0
+	if allocs := testing.AllocsPerRun(400, func() {
+		m.Observe(queries[i&511])
+		i++
+	}); allocs > 0 {
+		t.Errorf("instrumented Observe allocates %.1f per query, want 0", allocs)
+	}
+	if n := d.LocateLatency().Snapshot().Count; n == 0 {
+		t.Error("latency histogram observed nothing")
+	}
+}
+
+// baselineScripted is a scriptedDetector that also carries a calibrated
+// baseline, so tests can steer the adaptive cooldown's excess term.
+type baselineScripted struct {
+	scriptedDetector
+	mu, sigma float64
+	ok        bool
+}
+
+func (d *baselineScripted) Baseline() (float64, float64, bool) { return d.mu, d.sigma, d.ok }
+func (d *baselineScripted) SetBaseline(mu, sigma float64)      { d.mu, d.sigma, d.ok = mu, sigma, true }
+
+func TestMonitorAdaptiveCooldown(t *testing.T) {
+	trigger := func(t *testing.T, det DriftDetector, opts ...MonitorOption) MonitorStats {
+		t.Helper()
+		tb, d, query := monitorFixture(t, 1)
+		clock := 45 * 24 * time.Hour
+		sampler := tb.Sampler(func() time.Duration { return clock })
+		opts = append([]MonitorOption{
+			WithDriftDetector(det),
+			WithDriftHysteresis(2),
+			WithSynchronousUpdates(),
+		}, opts...)
+		m, err := NewMonitor(d, sampler, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		for i := 0; i < 2; i++ {
+			if err := m.Observe(query(i, clock)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := m.Stats()
+		if s.UpdatesTriggered != 1 {
+			t.Fatalf("updates triggered %d, want 1 (%+v)", s.UpdatesTriggered, s)
+		}
+		return s
+	}
+
+	t.Run("mild drift waits the ceiling", func(t *testing.T) {
+		// Baseline mean far above any real residual: excess clamps to 0.
+		det := &baselineScripted{mu: 1e6, sigma: 1, ok: true}
+		det.flag = true
+		s := trigger(t, det, WithAdaptiveCooldown(20, 200, 1))
+		if s.CooldownRemaining != 200 {
+			t.Fatalf("cooldown %d, want the 200 ceiling", s.CooldownRemaining)
+		}
+	})
+	t.Run("violent drift shrinks to the floor", func(t *testing.T) {
+		// Baseline mean far below the residual with a tiny sigma: the
+		// excess is enormous, so the cooldown clamps to the floor.
+		det := &baselineScripted{mu: -1e6, sigma: 1e-3, ok: true}
+		det.flag = true
+		s := trigger(t, det, WithAdaptiveCooldown(20, 200, 1))
+		if s.CooldownRemaining != 20 {
+			t.Fatalf("cooldown %d, want the 20 floor", s.CooldownRemaining)
+		}
+	})
+	t.Run("no baseline waits the ceiling", func(t *testing.T) {
+		det := &scriptedDetector{flag: true}
+		s := trigger(t, det, WithAdaptiveCooldown(20, 200, 1))
+		if s.CooldownRemaining != 200 {
+			t.Fatalf("cooldown %d, want the 200 ceiling", s.CooldownRemaining)
+		}
+	})
+	t.Run("WithUpdateCooldown restores the fixed policy", func(t *testing.T) {
+		det := &baselineScripted{mu: -1e6, sigma: 1e-3, ok: true}
+		det.flag = true
+		s := trigger(t, det, WithUpdateCooldown(77))
+		if s.CooldownRemaining != 77 {
+			t.Fatalf("cooldown %d, want the fixed 77", s.CooldownRemaining)
+		}
+	})
+}
+
+func TestMonitorStatsTopLinks(t *testing.T) {
+	_, d, query := monitorFixture(t, 1)
+	m, err := NewMonitor(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if s := m.Stats(); len(s.TopLinks) != 0 {
+		t.Fatalf("TopLinks before any observation: %v", s.TopLinks)
+	}
+	for i := 0; i < 64; i++ {
+		if err := m.Observe(query(i, time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	links := d.Geometry().Links
+	wantK := 3
+	if links < wantK {
+		wantK = links
+	}
+	if len(s.TopLinks) != wantK {
+		t.Fatalf("TopLinks %v, want %d entries", s.TopLinks, wantK)
+	}
+	seen := map[int]bool{}
+	for i, ld := range s.TopLinks {
+		if ld.Link < 0 || ld.Link >= links || seen[ld.Link] {
+			t.Fatalf("bad/duplicate link in %v", s.TopLinks)
+		}
+		seen[ld.Link] = true
+		if ld.ErrDB < 0 {
+			t.Fatalf("negative attributed error in %v", s.TopLinks)
+		}
+		if i > 0 && s.TopLinks[i-1].ErrDB < ld.ErrDB {
+			t.Fatalf("TopLinks not descending: %v", s.TopLinks)
+		}
+	}
+	// The allocation-free accessor agrees with the Stats view.
+	outL := make([]int, wantK)
+	outE := make([]float64, wantK)
+	if n := m.TopLinksInto(outL, outE); n != wantK {
+		t.Fatalf("TopLinksInto filled %d, want %d", n, wantK)
+	}
+	for i := 0; i < wantK; i++ {
+		if outL[i] != s.TopLinks[i].Link {
+			t.Fatalf("TopLinksInto %v disagrees with Stats %v", outL, s.TopLinks)
+		}
+	}
+}
+
 func TestMonitorConcurrentObserve(t *testing.T) {
 	// Observe must be safe under concurrent callers (the serve mode
 	// feeds it from HTTP handler goroutines).

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"iupdater/internal/loc"
+	"iupdater/internal/obs"
 	"iupdater/internal/replica"
 	"iupdater/internal/store"
 )
@@ -217,6 +218,10 @@ type Replica struct {
 
 	snap atomic.Pointer[Snapshot]
 
+	// lat mirrors Deployment.lat: the cumulative locate-latency
+	// histogram (seconds) of the replica's query paths.
+	lat *obs.Histogram
+
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -240,7 +245,12 @@ func OpenReplica(recordsURL string, opts ...ReplicaOption) (*Replica, error) {
 	if cfg.wait <= 0 {
 		cfg.wait = 25 * time.Second
 	}
-	r := &Replica{source: recordsURL, cfg: cfg, done: make(chan struct{})}
+	r := &Replica{
+		source: recordsURL,
+		cfg:    cfg,
+		done:   make(chan struct{}),
+		lat:    obs.NewHistogram(obs.DefLatencyBuckets...),
+	}
 	t, err := replica.New(replica.Config{
 		URL:        recordsURL,
 		Apply:      r.apply,
@@ -329,6 +339,12 @@ type ReplicaStatus struct {
 	// Lag is max(LeaderVersion-Version, 0) — the replication lag in
 	// versions.
 	Lag uint64
+	// Reconnects counts failed leader polls (each retried over a fresh
+	// connection under backoff).
+	Reconnects uint64
+	// Rebootstraps counts re-bootstraps from the leader's newest full
+	// record (compaction gap or apply-failure streak).
+	Rebootstraps uint64
 	// Promoted reports that Promote has ended following; Version then
 	// tracks the promoted deployment.
 	Promoted bool
@@ -345,6 +361,8 @@ func (r *Replica) Status() ReplicaStatus {
 		Version:       r.Version(),
 		LeaderVersion: r.tailer.LeaderVersion(),
 		Lag:           r.Lag(),
+		Reconnects:    r.tailer.Reconnects(),
+		Rebootstraps:  r.tailer.Rebootstraps(),
 		Promoted:      promoted != nil,
 	}
 	if promoted != nil {
@@ -371,6 +389,11 @@ func (r *Replica) WaitVersion(ctx context.Context, version uint64) (*Snapshot, e
 	}
 }
 
+// LocateLatency returns the replica's cumulative locate-latency
+// histogram (seconds), one observation per Locate/LocateCell call. Safe
+// for concurrent use; the serve layer exposes it on /metrics.
+func (r *Replica) LocateLatency() *obs.Histogram { return r.lat }
+
 // Locate estimates the target position against the replica's latest
 // applied snapshot.
 func (r *Replica) Locate(rss []float64) (Position, error) {
@@ -378,7 +401,10 @@ func (r *Replica) Locate(rss []float64) (Position, error) {
 	if s == nil {
 		return Position{}, errors.New("iupdater: replica has not applied a snapshot yet")
 	}
-	return s.Locate(rss)
+	start := time.Now()
+	p, err := s.Locate(rss)
+	r.lat.Observe(time.Since(start).Seconds())
+	return p, err
 }
 
 // LocateCell estimates the strip-major grid cell index against the
@@ -388,7 +414,10 @@ func (r *Replica) LocateCell(rss []float64) (int, error) {
 	if s == nil {
 		return 0, errors.New("iupdater: replica has not applied a snapshot yet")
 	}
-	return s.LocateCell(rss)
+	start := time.Now()
+	cell, err := s.LocateCell(rss)
+	r.lat.Observe(time.Since(start).Seconds())
+	return cell, err
 }
 
 // geometry returns the leader geometry learned from the first applied

@@ -329,3 +329,56 @@ func TestReplicaFleetSite(t *testing.T) {
 		t.Fatalf("closed replica advanced to v%d", v)
 	}
 }
+
+// TestPromoteUnderActiveStream stresses Promote against a tailer that
+// is actively applying records: a publisher hammers the leader's
+// version line while followers repeatedly connect, sync at least one
+// version, and promote mid-stream. Every attempt must complete within
+// the deadline — a hang here is the Promote-vs-apply interleaving this
+// test exists to pin down.
+func TestPromoteUnderActiveStream(t *testing.T) {
+	d, srv := openReplicaLeader(t)
+
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.Install(replicaMatrix(i)); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() { close(stop); <-pubDone }()
+
+	// Bound the whole stress run, not just each attempt: under -race on
+	// a loaded machine 40 attempts can outlast the package timeout.
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; attempt < 40 && time.Now().Before(deadline); attempt++ {
+		rep, err := OpenReplica(srv.URL,
+			WithReplicaWait(100*time.Millisecond),
+			WithReplicaBackoff(time.Millisecond, 10*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep.Version() == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rep.Promote()
+		}()
+		select {
+		case <-done:
+			rep.Close()
+		case <-time.After(10 * time.Second):
+			t.Fatalf("attempt %d: Promote deadlocked while the tailer was applying records", attempt)
+		}
+	}
+}

@@ -24,6 +24,8 @@
 #	AblationInitialization   <=  20000  (~3.3k measured)
 #	MonitorObserve           <=      2  (0 measured; also enforced by
 #	                                     TestMonitorObserveAllocBudget)
+#	MonitorObserveAttribution <=     2  (0 measured: observe + per-link
+#	                                     EWMA fold + top-k readout)
 #	StoreAppendLoad          <=     12  (2 measured: one record buffer,
 #	                                     one payload read buffer)
 #	StoreAppendDelta         <=      8  (~1-3 measured: the framed delta
@@ -70,6 +72,7 @@ BEGIN {
 	budget["BenchmarkFig16ConstraintAblation"] = 100000
 	budget["BenchmarkAblationInitialization"] = 20000
 	budget["BenchmarkMonitorObserve"] = 2
+	budget["BenchmarkMonitorObserveAttribution"] = 2
 	budget["BenchmarkStoreAppendLoad"] = 12
 	budget["BenchmarkStoreAppendDelta"] = 8
 	budget["BenchmarkReplicaApply"] = 4

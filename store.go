@@ -143,6 +143,11 @@ func (s *Store) SnapshotAt(version uint64) (Matrix, Geometry, error) {
 	return fp, g, nil
 }
 
+// Compactions returns how many log rewrites dropped history this store
+// life — manual Compact calls and the automatic post-append retention
+// policy alike.
+func (s *Store) Compactions() uint64 { return s.st.Compactions() }
+
 // Compact applies the retention policy now (see WithRetention).
 func (s *Store) Compact() error {
 	if err := s.st.Compact(); err != nil {
