@@ -24,6 +24,7 @@ import (
 	"iupdater/internal/loc"
 	"iupdater/internal/mat"
 	"iupdater/internal/testbed"
+	"iupdater/internal/trace"
 )
 
 func benchSeeds() []uint64 { return []uint64{3} }
@@ -434,10 +435,10 @@ func BenchmarkReconstructSweeps(b *testing.B) {
 
 // benchDeployment builds an office Deployment plus a fixed batch of
 // online measurements for the serving benchmarks.
-func benchDeployment(b *testing.B, workers int) (*iupdater.Deployment, [][]float64) {
+func benchDeployment(b *testing.B, workers int, opts ...iupdater.Option) (*iupdater.Deployment, [][]float64) {
 	b.Helper()
 	tb := iupdater.NewTestbed(iupdater.Office(), 3)
-	d, _, err := tb.Deploy(0, 20, iupdater.WithWorkers(workers))
+	d, _, err := tb.Deploy(0, 20, append([]iupdater.Option{iupdater.WithWorkers(workers)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -460,6 +461,49 @@ func BenchmarkLocateSerial(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(batch)), "queries/op")
+}
+
+// BenchmarkLocateTraced times the serving hot path with a tracer
+// attached, in both retention regimes. The unsampled sub-benchmark
+// (head sampling off, slow capture disabled) is the steady-state
+// production configuration: the span tree is recorded into pooled
+// scratch and dropped at Finish, so it must stay allocation-free
+// (<= 2 allocs/op, gated in scripts/bench.sh, 0 measured). The
+// sampled sub-benchmark retains every trace (head 1-in-1) and bounds
+// the worst case: one copy-on-retain of the span tree per query.
+func BenchmarkLocateTraced(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  trace.Config
+	}{
+		{"unsampled", trace.Config{DefaultSlow: -1}},
+		{"sampled", trace.Config{HeadEvery: 1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tracer := trace.New(tc.cfg)
+			d, batch := benchDeployment(b, 1, iupdater.WithTracer(tracer, "bench"))
+			// Warm the pooled trace scratch and query scratch so b.N
+			// iterations measure the steady state, not pool misses.
+			for i := 0; i < 512; i++ {
+				if _, err := d.Locate(batch[i%len(batch)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Locate(batch[i%len(batch)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s := tracer.Stats(); s.Started == 0 {
+				b.Fatal("tracer saw no traces; the locate path bypassed tracing")
+			} else if tc.name == "unsampled" && s.Retained != 0 {
+				b.Fatalf("unsampled run retained %d traces", s.Retained)
+			}
+		})
+	}
 }
 
 // BenchmarkMonitorObserve times the drift-monitor observation hot path:

@@ -297,6 +297,15 @@ var metricFamilies = []string{
 	"iupdater_replica_lag_versions",
 	"iupdater_replica_reconnects_total",
 	"iupdater_replica_rebootstraps_total",
+	"iupdater_update_duration_seconds",
+	"iupdater_publish_total",
+	"iupdater_traces_started_total",
+	"iupdater_traces_retained_total",
+	"iupdater_traces_slow_total",
+	"iupdater_build_info",
+	"iupdater_goroutines",
+	"iupdater_heap_bytes",
+	"iupdater_gc_pause_seconds_total",
 }
 
 func scrapeMetrics(t *testing.T, url string) string {

@@ -13,6 +13,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	runtimemetrics "runtime/metrics"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +24,7 @@ import (
 
 	"iupdater"
 	"iupdater/internal/obs"
+	"iupdater/internal/trace"
 )
 
 // site is one served deployment: the Deployment itself plus the testbed
@@ -128,6 +132,14 @@ type server struct {
 	workers int
 	pprof   bool
 
+	// tracer records request-scoped span traces across every route (see
+	// traces.go); the same tracer is attached to the site deployments in
+	// runServe so library pipelines (locate, auto-update, replication)
+	// land in the same rings /traces serves.
+	tracer *trace.Tracer
+	// access, when non-nil, receives one structured line per request.
+	access *log.Logger
+
 	// drain is cancelled when graceful shutdown begins (wired to
 	// http.Server.RegisterOnShutdown), so parked records long-polls end
 	// immediately instead of holding the drain open until their wait
@@ -142,6 +154,7 @@ func newServer(workers int) *server {
 		fleet:       iupdater.NewFleet(),
 		sites:       make(map[string]*site),
 		workers:     workers,
+		tracer:      newServeTracer(0),
 		drain:       drain,
 		cancelDrain: cancelDrain,
 	}
@@ -188,7 +201,7 @@ func (s *server) handler() http.Handler {
 	// Allow header (and the API's JSON error shape) instead of the
 	// mux's implicit handling.
 	route := func(method, pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" "+pattern, h)
+		mux.HandleFunc(method+" "+pattern, s.instrument(method, pattern, h))
 		mux.HandleFunc(pattern, methodNotAllowed(method))
 	}
 	route("POST", "/locate", s.handleLocate)
@@ -199,6 +212,8 @@ func (s *server) handler() http.Handler {
 	route("GET", "/records", s.handleRecords)
 	route("GET", "/sites", s.handleSites)
 	route("GET", "/metrics", s.handleMetrics)
+	route("GET", "/traces", s.handleTraces)
+	route("GET", "/traces/{id}", s.handleTrace)
 	route("GET", "/sites/{site}", s.handleSite)
 	route("POST", "/sites/{site}/locate", s.handleLocate)
 	route("POST", "/sites/{site}/update", s.handleUpdate)
@@ -281,10 +296,26 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("replica %s has not synced from its leader yet", st.name))
 		return
 	}
+	tr := trace.FromContext(r.Context())
+	tr.Root().SetInt("version", int64(snap.Version()))
 	resp := locateResponse{Version: snap.Version()}
 	if req.RSS != nil {
 		start := time.Now()
-		p, err := snap.Locate(req.RSS)
+		var p iupdater.Position
+		var err error
+		if tr != nil {
+			sp := tr.StartSpan("omp.solve")
+			var ls iupdater.LocateStats
+			p, ls, err = snap.LocateWithStats(req.RSS)
+			sp.SetStr("tier", ls.Tier)
+			sp.SetInt("column_evals", int64(ls.ColumnEvals))
+			sp.SetInt("shard_evals", int64(ls.ShardEvals))
+			sp.SetInt("shards_visited", int64(ls.ShardsVisited))
+			sp.SetInt("rounds", int64(ls.Rounds))
+			sp.End()
+		} else {
+			p, err = snap.Locate(req.RSS)
+		}
 		st.latency().Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
@@ -294,7 +325,11 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		resp.Position = &positionJSON{X: p.X, Y: p.Y}
 	} else {
 		start := time.Now()
+		sp := tr.StartSpan("locate.batch")
+		sp.SetInt("measurements", int64(len(req.Batch)))
+		sp.SetInt("workers", int64(s.workers))
 		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
+		sp.End()
 		st.latency().Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
@@ -343,6 +378,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// The request trace (if sampled) becomes the update pipeline's
+	// trace: UpdateTraced records reconstruct → persist → swap spans
+	// under it, so one tree covers HTTP entry through publish.
+	tr := trace.FromContext(r.Context())
 	var noDec, xr iupdater.Matrix
 	var known iupdater.Mask
 	var at time.Duration
@@ -365,15 +404,25 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// The lock both freezes the clock and serializes the testbed
-		// measurements against the monitor's sampler.
+		// measurements against the monitor's sampler. The measurement is
+		// this path's sample stage: its span and the stage histogram see
+		// the same duration.
+		sp := tr.StartSpan("sample")
+		sp.SetInt("references", int64(len(refs)))
+		t0 := time.Now()
 		st.mu.Lock()
 		at = st.clock + time.Duration(req.Days*float64(24*time.Hour))
 		noDec = st.tb.NoDecreaseMatrix(at)
 		known = st.tb.Mask()
 		xr, _ = st.tb.ReferenceMatrix(at, refs)
 		st.mu.Unlock()
+		el := time.Since(t0)
+		sp.EndDur(el)
+		if h := st.d.UpdateStageLatency(iupdater.StageSample); h != nil {
+			h.Observe(el.Seconds())
+		}
 	}
-	snap, err := st.d.Update(noDec, known, xr)
+	snap, err := st.d.UpdateTraced(tr, noDec, known, xr)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -456,6 +505,9 @@ type driftResponse struct {
 	UpdateInFlight    bool            `json:"update_in_flight"`
 	Version           uint64          `json:"version"`
 	LastError         string          `json:"last_error,omitempty"`
+	// LastUpdateTrace is the trace ID of the most recent drift-triggered
+	// auto-update, fetchable at GET /traces/{id}.
+	LastUpdateTrace string `json:"last_update_trace,omitempty"`
 }
 
 // linkDriftJSON mirrors iupdater.LinkDrift: one offending link in the
@@ -479,6 +531,7 @@ func driftJSON(stats iupdater.MonitorStats) driftResponse {
 		UpdateInFlight:    stats.UpdateInFlight,
 		Version:           stats.SnapshotVersion,
 		LastError:         stats.LastError,
+		LastUpdateTrace:   stats.LastUpdateTraceID,
 	}
 	for _, ld := range stats.TopLinks {
 		out.TopLinks = append(out.TopLinks, linkDriftJSON{Link: ld.Link, ErrDB: ld.ErrDB})
@@ -677,6 +730,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.Sample("iupdater_snapshot_version", float64(sum.Version), site(sum.Name))
 	}
 
+	// Update-pipeline stage latency (writer sites only), fed from the
+	// same measured durations the pipeline's trace spans record — the
+	// histogram and a captured trace cannot disagree.
+	mw.Family("iupdater_update_duration_seconds", "histogram",
+		"Update pipeline stage latency in seconds, by stage (sample, reconstruct, persist, swap).")
+	for _, sum := range sums {
+		st := s.sites[sum.Name]
+		if st.rep != nil {
+			continue
+		}
+		for _, stage := range iupdater.UpdateStages() {
+			if h := st.d.UpdateStageLatency(stage); h != nil {
+				mw.Histogram("iupdater_update_duration_seconds", h.Snapshot(),
+					site(sum.Name), obs.Label{Name: "stage", Value: stage})
+			}
+		}
+	}
+	mw.Family("iupdater_publish_total", "counter", "Snapshot publishes made visible to queries (updates, installs, rollbacks).")
+	for _, sum := range sums {
+		st := s.sites[sum.Name]
+		if st.rep != nil {
+			continue
+		}
+		mw.Sample("iupdater_publish_total", float64(st.d.Publishes()), site(sum.Name))
+	}
+
 	// Candidate-search work, labeled with the serving snapshot's tier.
 	// The counters reset on every publish: each snapshot version carries
 	// a fresh index (Prometheus handles counter resets natively).
@@ -832,6 +911,50 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			mw.Sample(fam.name, float64(fam.value(sum.Replica)), site(sum.Name))
 		}
 	}
+
+	mw.Family("iupdater_traces_started_total", "counter", "Request traces begun across all routes and pipelines (sampled or not).")
+	mw.Family("iupdater_traces_retained_total", "counter", "Traces retained in the recent ring (head-sampled, slow or forced).")
+	mw.Family("iupdater_traces_slow_total", "counter", "Retained traces that met their path's slow threshold.")
+	ts := s.tracer.Stats()
+	mw.Sample("iupdater_traces_started_total", float64(ts.Started))
+	mw.Sample("iupdater_traces_retained_total", float64(ts.Retained))
+	mw.Sample("iupdater_traces_slow_total", float64(ts.Slow))
+
+	mw.Family("iupdater_build_info", "gauge", "Build metadata of the serving binary; the value is always 1.")
+	mw.Sample("iupdater_build_info", 1,
+		obs.Label{Name: "version", Value: buildVersion()},
+		obs.Label{Name: "goversion", Value: runtime.Version()})
+
+	// Go runtime health, read through runtime/metrics (names are
+	// version-checked: a metric the runtime no longer exports is simply
+	// omitted rather than reported as zero).
+	runtimeGauges := []struct {
+		name, help, metric string
+	}{
+		{"iupdater_goroutines", "Live goroutines in the serving process.", "/sched/goroutines:goroutines"},
+		{"iupdater_heap_bytes", "Bytes of live heap objects.", "/memory/classes/heap/objects:bytes"},
+	}
+	rsamples := make([]runtimemetrics.Sample, len(runtimeGauges))
+	for i, g := range runtimeGauges {
+		rsamples[i].Name = g.metric
+	}
+	runtimemetrics.Read(rsamples)
+	for i, g := range runtimeGauges {
+		mw.Family(g.name, "gauge", g.help)
+		switch rsamples[i].Value.Kind() {
+		case runtimemetrics.KindUint64:
+			mw.Sample(g.name, float64(rsamples[i].Value.Uint64()))
+		case runtimemetrics.KindFloat64:
+			mw.Sample(g.name, rsamples[i].Value.Float64())
+		}
+	}
+	// Cumulative stop-the-world GC pause time; runtime/metrics only
+	// exposes pause distributions, so the exact total comes from
+	// MemStats (the historical Go-collector behavior on scrape).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mw.Family("iupdater_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time in seconds.")
+	mw.Sample("iupdater_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
 
 	if err := mw.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("rendering metrics: %w", err))
@@ -996,6 +1119,8 @@ func runServe(args []string) error {
 	sitesFlag := fs.String("sites", "", "comma-separated name=env site list (default: one site 'default' on -env)")
 	followFlag := fs.String("follow", "", "comma-separated name=url read-only replica sites tailing a leader's records endpoint")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	accessLog := fs.Bool("access-log", false, "log one structured line per request (method, route, site, status, duration, trace ID)")
+	traceHead := fs.Int("trace-head", 100, "head-sample 1 in N request traces into GET /traces (0 = slow and forced traces only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1014,6 +1139,10 @@ func runServe(args []string) error {
 
 	s := newServer(*workers)
 	s.pprof = *pprofOn
+	s.tracer = newServeTracer(*traceHead)
+	if *accessLog {
+		s.access = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
 	var cancels []func()
 	defer func() {
 		// On a failed startup, release whatever was wired so far; after
@@ -1026,6 +1155,7 @@ func runServe(args []string) error {
 	for i, spec := range specs {
 		opts := []iupdater.Option{
 			iupdater.WithWorkers(*workers), iupdater.WithUpdateConcurrency(*updateConc),
+			iupdater.WithTracer(s.tracer, spec.name),
 		}
 		log.Printf("site %s: preparing %s (seed %d)...", spec.name, spec.env, *seed+uint64(i))
 		st, warm, err := buildSite(spec, *seed+uint64(i), *dataDir, *retain, opts)
@@ -1056,7 +1186,7 @@ func runServe(args []string) error {
 		}
 	}
 	for _, spec := range follows {
-		rep, err := iupdater.OpenReplica(spec.url)
+		rep, err := iupdater.OpenReplica(spec.url, iupdater.WithReplicaTracer(s.tracer, spec.name))
 		if err != nil {
 			return fmt.Errorf("site %s: %w", spec.name, err)
 		}
@@ -1081,7 +1211,7 @@ func runServe(args []string) error {
 	srv.RegisterOnShutdown(s.cancelDrain)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving %d site(s) %v on %s (POST /locate|/update|/rollback, GET /snapshot|/drift|/records|/sites|/metrics|/healthz; per-site under /sites/{name}/...)",
+	log.Printf("serving %d site(s) %v on %s (POST /locate|/update|/rollback, GET /snapshot|/drift|/records|/sites|/metrics|/traces|/healthz; per-site under /sites/{name}/...)",
 		len(s.sites), s.fleet.Names(), ln.Addr())
 	return serveUntil(ctx, srv, ln, *drainTimeout, func() {
 		// Monitors first (Fleet.Close waits out in-flight auto-updates,
@@ -1095,6 +1225,15 @@ func runServe(args []string) error {
 		}
 		cancels = nil
 	})
+}
+
+// buildVersion reports the main-module version baked into the binary,
+// "(devel)" for local builds.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 func durabilityNote(d *iupdater.Deployment) string {

@@ -12,6 +12,7 @@ import (
 	"iupdater/internal/geom"
 	"iupdater/internal/loc"
 	"iupdater/internal/obs"
+	"iupdater/internal/trace"
 )
 
 // Geometry describes the deployment layout needed to turn fingerprint
@@ -58,6 +59,8 @@ type config struct {
 	updateConc int
 	store      *Store
 	search     loc.IndexConfig
+	tracer     *trace.Tracer
+	site       string
 }
 
 // WithReferenceCount overrides the number of reference locations (default:
@@ -127,6 +130,20 @@ func WithShardedSearch(fanout int) Option {
 	return func(c *config) {
 		c.search.Mode = loc.SearchSharded
 		c.search.Fanout = fanout
+	}
+}
+
+// WithTracer attaches a request-scoped span tracer (see internal/trace)
+// under the given site label: Locate records a per-query trace with the
+// exact search cost of that query, and every Update/Install/Rollback
+// publish records its pipeline stages (reconstruct, snapshot build,
+// persist, swap). Sampling is the tracer's policy — the unsampled
+// hot-path cost is pooled scratch recording only, with zero
+// allocations. A nil tracer is the same as not using this option.
+func WithTracer(t *trace.Tracer, site string) Option {
+	return func(c *config) {
+		c.tracer = t
+		c.site = site
 	}
 }
 
@@ -224,6 +241,42 @@ func (s *Snapshot) Locate(rss []float64) (Position, error) {
 	return Position{X: p.X, Y: p.Y}, nil
 }
 
+// LocateStats describes the candidate-search work one Locate call
+// performed, causally — unlike SearchStats, which aggregates across
+// all concurrent queries. Request-scoped traces attach these as span
+// attributes.
+type LocateStats struct {
+	// Version is the snapshot version the query ran against.
+	Version uint64
+	// Tier is the active search tier ("pruned", "exact", "sharded").
+	Tier string
+	// ColumnEvals / ShardEvals / ShardsVisited / Rounds are this
+	// query's exact counts; see loc.SearchInfo.
+	ColumnEvals   uint64
+	ShardEvals    uint64
+	ShardsVisited int
+	Rounds        int
+}
+
+// LocateWithStats is Locate returning this query's exact search cost.
+// It allocates nothing beyond Locate itself.
+func (s *Snapshot) LocateWithStats(rss []float64) (Position, LocateStats, error) {
+	var info loc.SearchInfo
+	p, err := s.omp.LocatePointInfo(rss, &info)
+	st := LocateStats{
+		Version:       s.version,
+		Tier:          s.ix.Mode().String(),
+		ColumnEvals:   info.ColumnEvals,
+		ShardEvals:    info.ShardEvals,
+		ShardsVisited: info.ShardsVisited,
+		Rounds:        info.Rounds,
+	}
+	if err != nil {
+		return Position{}, st, fmt.Errorf("iupdater: %w", err)
+	}
+	return Position{X: p.X, Y: p.Y}, st, nil
+}
+
 // LocateCell estimates the strip-major grid cell index for one online
 // RSS vector.
 func (s *Snapshot) LocateCell(rss []float64) (int, error) {
@@ -290,6 +343,22 @@ type Deployment struct {
 	// exposes it on /metrics.
 	lat *obs.Histogram
 
+	// updLat holds the per-stage update-pipeline latency histograms
+	// (StageSample..StageSwap). The observations are the very same
+	// durations recorded on the stage spans, so /metrics and /traces
+	// cannot disagree about where update time went.
+	updLat map[string]*obs.Histogram
+
+	// publishes counts snapshots published by this deployment (the
+	// initial install is not a publish).
+	publishes obs.Counter
+
+	// pubMu guards pubTraces, the bounded version -> publish-trace-ID
+	// map that lets /records hand followers the trace that produced the
+	// record they are applying.
+	pubMu     sync.Mutex
+	pubTraces map[uint64]trace.ID
+
 	// mu serializes the write path and guards updater, which holds the
 	// reference locations and correlation matrix of the latest Refresh.
 	mu      sync.Mutex
@@ -298,6 +367,66 @@ type Deployment struct {
 	subMu  sync.Mutex
 	subs   map[uint64]chan *Snapshot
 	nextID uint64
+}
+
+// Update-pipeline stage labels, in pipeline order: reference-point
+// measurement, ALS reconstruction, store append+fsync, atomic snapshot
+// swap. They are the `stage` label values of the
+// iupdater_update_duration_seconds histogram and the span names of the
+// corresponding trace spans.
+const (
+	StageSample      = "sample"
+	StageReconstruct = "reconstruct"
+	StagePersist     = "persist"
+	StageSwap        = "swap"
+)
+
+// UpdateStages returns the update-pipeline stage labels in order.
+func UpdateStages() []string {
+	return []string{StageSample, StageReconstruct, StagePersist, StageSwap}
+}
+
+func newUpdateStageHists() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, 4)
+	for _, st := range UpdateStages() {
+		m[st] = obs.NewHistogram(obs.DefLatencyBuckets...)
+	}
+	return m
+}
+
+// UpdateStageLatency returns the latency histogram (seconds) for one
+// update-pipeline stage (StageSample, StageReconstruct, StagePersist
+// or StageSwap); nil for unknown stages. Safe for concurrent use.
+func (d *Deployment) UpdateStageLatency(stage string) *obs.Histogram { return d.updLat[stage] }
+
+// Publishes returns how many snapshots this deployment has published
+// (Update/Install/Rollback/auto-update; the initial database does not
+// count).
+func (d *Deployment) Publishes() uint64 { return d.publishes.Value() }
+
+// PublishTraceID returns the trace ID of the publish that produced the
+// given snapshot version, when that publish was traced and the version
+// is recent (a bounded window of recent publishes is remembered).
+func (d *Deployment) PublishTraceID(version uint64) (trace.ID, bool) {
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	id, ok := d.pubTraces[version]
+	return id, ok
+}
+
+// publishTraceWindow bounds the version -> publish-trace-ID memory.
+const publishTraceWindow = 64
+
+func (d *Deployment) recordPublishTrace(version uint64, id trace.ID) {
+	d.pubMu.Lock()
+	if d.pubTraces == nil {
+		d.pubTraces = make(map[uint64]trace.ID, publishTraceWindow)
+	}
+	d.pubTraces[version] = id
+	if version > publishTraceWindow {
+		delete(d.pubTraces, version-publishTraceWindow)
+	}
+	d.pubMu.Unlock()
 }
 
 // NewDeployment validates the initial fingerprint database against the
@@ -321,11 +450,12 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", r, c, g.Links, grid.NumCells())
 	}
 	d := &Deployment{
-		geo:  g,
-		grid: grid,
-		cfg:  cfg,
-		subs: make(map[uint64]chan *Snapshot),
-		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
+		geo:    g,
+		grid:   grid,
+		cfg:    cfg,
+		subs:   make(map[uint64]chan *Snapshot),
+		lat:    obs.NewHistogram(obs.DefLatencyBuckets...),
+		updLat: newUpdateStageHists(),
 	}
 	// A store that already holds history (a previous deployment life,
 	// e.g. before a fresh full survey) keeps the version line monotonic:
@@ -336,7 +466,7 @@ func NewDeployment(fingerprints Matrix, g Geometry, opts ...Option) (*Deployment
 	}
 	snap := newSnapshot(version, fingerprints.Clone(), grid, cfg.search)
 	if cfg.store != nil {
-		if err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
+		if _, err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
 			return nil, err
 		}
 	}
@@ -374,18 +504,19 @@ func newDeploymentAt(fingerprints Matrix, g Geometry, version uint64, opts ...Op
 		return nil, fmt.Errorf("iupdater: matrix is %dx%d, want %dx%d", r, c, g.Links, grid.NumCells())
 	}
 	d := &Deployment{
-		geo:  g,
-		grid: grid,
-		cfg:  cfg,
-		subs: make(map[uint64]chan *Snapshot),
-		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
+		geo:    g,
+		grid:   grid,
+		cfg:    cfg,
+		subs:   make(map[uint64]chan *Snapshot),
+		lat:    obs.NewHistogram(obs.DefLatencyBuckets...),
+		updLat: newUpdateStageHists(),
 	}
 	snap := newSnapshot(version, fingerprints.Clone(), grid, cfg.search)
 	if cfg.store != nil {
 		if last := cfg.store.LatestVersion(); last > version {
 			return nil, fmt.Errorf("iupdater: store already holds version %d, beyond the takeover version %d", last, version)
 		} else if last < version {
-			if err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
+			if _, err := cfg.store.appendSnapshot(snap.version, g, snap.fp); err != nil {
 				return nil, err
 			}
 		}
@@ -419,11 +550,12 @@ func OpenDeployment(st *Store, opts ...Option) (*Deployment, error) {
 	}
 	grid := g.grid()
 	d := &Deployment{
-		geo:  g,
-		grid: grid,
-		cfg:  cfg,
-		subs: make(map[uint64]chan *Snapshot),
-		lat:  obs.NewHistogram(obs.DefLatencyBuckets...),
+		geo:    g,
+		grid:   grid,
+		cfg:    cfg,
+		subs:   make(map[uint64]chan *Snapshot),
+		lat:    obs.NewHistogram(obs.DefLatencyBuckets...),
+		updLat: newUpdateStageHists(),
 	}
 	// fp was decoded into fresh storage, so no defensive clone is needed.
 	d.snap.Store(newSnapshot(version, fp, grid, cfg.search))
@@ -517,6 +649,19 @@ func (d *Deployment) ReferenceLocations() ([]int, error) {
 // one is swapped in; the returned snapshot is the newly published
 // version.
 func (d *Deployment) Update(noDecrease Matrix, known Mask, references Matrix) (*Snapshot, error) {
+	tr := d.cfg.tracer.Start("update", d.cfg.site)
+	defer tr.Finish()
+	return d.UpdateTraced(tr, noDecrease, known, references)
+}
+
+// UpdateTraced is Update recording its pipeline stages — ALS
+// reconstruction, snapshot build/index, store append+fsync, atomic
+// swap — as child spans of tr, which the caller owns (serve-mode
+// request handlers pass their request trace; the drift monitor passes
+// its forced auto-update trace). A nil tr records nothing. The stage
+// durations observed into the update-stage histograms are the very
+// same values recorded on the spans.
+func (d *Deployment) UpdateTraced(tr *trace.Trace, noDecrease Matrix, known Mask, references Matrix) (*Snapshot, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.ensureUpdaterLocked(); err != nil {
@@ -545,11 +690,18 @@ func (d *Deployment) Update(noDecrease Matrix, known Mask, references Matrix) (*
 	mask := known.fingerprintMask()
 	// Zero out the unknown entries so B ∘ X̂ = X_B holds exactly.
 	xb := mask.Project(noDecrease.dense())
+	sp := tr.StartSpan(StageReconstruct)
+	t0 := time.Now()
 	updated, _, err := d.updater.Update(xb, mask, references.dense(), 0)
+	el := time.Since(t0)
+	sp.SetInt("links", int64(d.geo.Links))
+	sp.SetInt("cells", int64(cells))
+	sp.EndDur(el)
+	d.updLat[StageReconstruct].Observe(el.Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: %w", err)
 	}
-	return d.publishLocked(matrixFromDense(updated.X))
+	return d.publishLocked(tr, matrixFromDense(updated.X))
 }
 
 // Install replaces the database wholesale (e.g. after a fresh full
@@ -558,6 +710,8 @@ func (d *Deployment) Update(noDecrease Matrix, known Mask, references Matrix) (*
 // snapshot. On error no deployment state changes — the previous snapshot
 // keeps serving and the previous correlation state keeps updating.
 func (d *Deployment) Install(fingerprints Matrix) (*Snapshot, error) {
+	tr := d.cfg.tracer.Start("install", d.cfg.site)
+	defer tr.Finish()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if fingerprints.IsZero() {
@@ -571,7 +725,7 @@ func (d *Deployment) Install(fingerprints Matrix) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap, err := d.publishLocked(fp)
+	snap, err := d.publishLocked(tr, fp)
 	if err != nil {
 		return nil, err
 	}
@@ -588,6 +742,8 @@ func (d *Deployment) Install(fingerprints Matrix) (*Snapshot, error) {
 // later Rollback can undo. Requires a store (WithStore/OpenDeployment);
 // versions outside the retention window are an error.
 func (d *Deployment) Rollback(version uint64) (*Snapshot, error) {
+	tr := d.cfg.tracer.Start("rollback", d.cfg.site)
+	defer tr.Finish()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.cfg.store == nil {
@@ -604,7 +760,8 @@ func (d *Deployment) Rollback(version uint64) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap, err := d.publishLocked(fp)
+	tr.Root().SetInt("rollback_to", int64(version))
+	snap, err := d.publishLocked(tr, fp)
 	if err != nil {
 		return nil, err
 	}
@@ -632,15 +789,35 @@ func (d *Deployment) Refresh() error {
 // whether the diff against the previous version is worth a delta
 // record), swaps the snapshot in and notifies subscribers. d.mu must be
 // held.
-func (d *Deployment) publishLocked(fp Matrix) (*Snapshot, error) {
+//
+// The three publish stages — snapshot build/index, store append+fsync,
+// atomic swap — are recorded as child spans of tr (nil records
+// nothing); persist and swap also feed the update-stage histograms
+// with the same durations. A traced publish's ID is remembered so
+// /records can hand it to followers (see PublishTraceID).
+func (d *Deployment) publishLocked(tr *trace.Trace, fp Matrix) (*Snapshot, error) {
+	sp := tr.StartSpan("snapshot.build")
+	t0 := time.Now()
 	snap := newSnapshot(d.snap.Load().version+1, fp, d.grid, d.cfg.search)
+	sp.SetInt("version", int64(snap.version))
+	sp.End()
 	if d.cfg.store != nil {
-		if err := d.cfg.store.appendSnapshot(snap.version, d.geo, snap.fp); err != nil {
+		sp = tr.StartSpan(StagePersist)
+		t0 = time.Now()
+		kind, err := d.cfg.store.appendSnapshot(snap.version, d.geo, snap.fp)
+		el := time.Since(t0)
+		sp.SetStr("record_kind", kind)
+		sp.EndDur(el)
+		d.updLat[StagePersist].Observe(el.Seconds())
+		if err != nil {
 			return nil, err
 		}
 	}
+	sp = tr.StartSpan(StageSwap)
+	t0 = time.Now()
 	d.snap.Store(snap)
 	d.subMu.Lock()
+	n := len(d.subs)
 	for _, ch := range d.subs {
 		select {
 		case ch <- snap:
@@ -648,6 +825,14 @@ func (d *Deployment) publishLocked(fp Matrix) (*Snapshot, error) {
 		}
 	}
 	d.subMu.Unlock()
+	el := time.Since(t0)
+	sp.SetInt("subscribers", int64(n))
+	sp.EndDur(el)
+	d.updLat[StageSwap].Observe(el.Seconds())
+	d.publishes.Inc()
+	if tr != nil {
+		d.recordPublishTrace(snap.version, tr.ID())
+	}
 	return snap, nil
 }
 
@@ -681,11 +866,33 @@ func (d *Deployment) Updates() (<-chan *Snapshot, func()) {
 func (d *Deployment) LocateLatency() *obs.Histogram { return d.lat }
 
 // Locate estimates the target position for one online RSS vector against
-// the latest snapshot.
+// the latest snapshot. With a tracer attached (WithTracer) each call
+// records a trace carrying this query's exact search cost; unsampled
+// traces cost pooled scratch only — the call stays allocation-free.
 func (d *Deployment) Locate(rss []float64) (Position, error) {
+	tr := d.cfg.tracer.Start("locate", d.cfg.site)
 	start := time.Now()
-	p, err := d.snap.Load().Locate(rss)
-	d.lat.Observe(time.Since(start).Seconds())
+	snap := d.snap.Load()
+	if tr == nil {
+		p, err := snap.Locate(rss)
+		d.lat.Observe(time.Since(start).Seconds())
+		return p, err
+	}
+	sp := tr.StartSpan("omp.solve")
+	p, st, err := snap.LocateWithStats(rss)
+	sp.SetStr("tier", st.Tier)
+	sp.SetInt("column_evals", int64(st.ColumnEvals))
+	sp.SetInt("shard_evals", int64(st.ShardEvals))
+	sp.SetInt("shards_visited", int64(st.ShardsVisited))
+	sp.SetInt("rounds", int64(st.Rounds))
+	sp.End()
+	el := time.Since(start)
+	d.lat.Observe(el.Seconds())
+	root := tr.Root()
+	root.SetInt("version", int64(st.Version))
+	root.SetBool("error", err != nil)
+	root.EndDur(el)
+	tr.Finish()
 	return p, err
 }
 

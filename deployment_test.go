@@ -336,7 +336,7 @@ func publishN(d *Deployment, n int) {
 	fp := d.Snapshot().Fingerprints()
 	for i := 0; i < n; i++ {
 		d.mu.Lock()
-		d.publishLocked(fp.Clone())
+		d.publishLocked(nil, fp.Clone())
 		d.mu.Unlock()
 	}
 }

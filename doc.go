@@ -166,6 +166,8 @@
 //	POST /sites/{name}/rollback?version=N  republish a retained version
 //	GET  /sites/{name}/records         record-log stream for follower replicas
 //	GET  /metrics                      fleet-wide Prometheus text exposition
+//	GET  /traces                       recent + slow retained traces (see Tracing)
+//	GET  /traces/{id}                  one trace's full span tree
 //	GET  /healthz                      liveness (serving version + site count)
 //
 // The original single-site routes (/locate, /update, /snapshot, /drift,
@@ -245,6 +247,16 @@
 //	iupdater_replica_lag_versions          gauge     {site}       replication lag in versions
 //	iupdater_replica_reconnects_total      counter   {site}       failed leader polls
 //	iupdater_replica_rebootstraps_total    counter   {site}       restarts from a full record
+//	iupdater_update_duration_seconds       histogram {site,stage} update pipeline stage latency
+//	                                                             (sample/reconstruct/persist/swap)
+//	iupdater_publish_total                 counter   {site}       snapshot publishes (update/install/rollback)
+//	iupdater_traces_started_total          counter   {}           traces started across the fleet
+//	iupdater_traces_retained_total         counter   {}           traces retained (sampled/slow/forced)
+//	iupdater_traces_slow_total             counter   {}           traces retained for crossing a slow threshold
+//	iupdater_build_info                    gauge     {version,goversion} constant 1
+//	iupdater_goroutines                    gauge     {}           live goroutines (runtime/metrics)
+//	iupdater_heap_bytes                    gauge     {}           live heap object bytes
+//	iupdater_gc_pause_seconds_total        counter   {}           cumulative stop-the-world GC pause
 //
 // The search counters reset whenever a new snapshot version publishes
 // (each version carries a fresh index) — an ordinary Prometheus counter
@@ -273,6 +285,53 @@
 // stationary traffic triggers exactly as few updates as before.
 // WithAdaptiveCooldown(floor, ceiling, sensitivity) tunes the policy;
 // WithUpdateCooldown(n) restores the fixed-width window.
+//
+// # Tracing — request-scoped spans across locate, update and replication
+//
+// The internal/trace package is a zero-dependency span tracer built for
+// the same hot paths as internal/obs: a Tracer hands out per-request
+// Trace values whose span tree records into sync.Pool-backed scratch,
+// and the retain-or-drop decision is deferred to Finish — so a request
+// that is not retained costs no allocation at all (gated by
+// BenchmarkLocateTraced/unsampled in scripts/bench.sh and the
+// tracing-enabled run of TestInstrumentedHotPathsAllocFree). A trace is
+// retained when any of three policies fires: it was forced (Force, or a
+// sampled upstream traceparent), head sampling kept it (1 in
+// HeadEvery), or its duration crossed the per-path slow threshold
+// (SlowThreshold/DefaultSlow; a negative threshold opts a path out, how
+// the long-poll routes avoid flooding the slow ring). Retained traces
+// are copied once into immutable TraceData and published to two
+// lock-free rings — recent and slow — that scrapes read without
+// touching writers.
+//
+// WithTracer attaches a tracer to a Deployment (and Monitor), WithReplicaTracer
+// to a follower. Three pipelines are instrumented end to end:
+//
+//   - locate: a root span per query with version/tier attrs and an
+//     omp.solve child carrying column_evals/shard_evals/shards_visited/
+//     rounds from the index's per-query search stats;
+//   - update: detect (spanning the hysteresis window on auto-updates) →
+//     sample → reconstruct → snapshot.build → persist (record kind) →
+//     swap; MonitorStats.LastUpdateTraceID and GET /drift's
+//     last_update_trace name the trace of the newest auto-update;
+//   - replication: the follower's replica.poll trace (longpoll →
+//     validate → apply per frame) is forced whenever frames arrive and
+//     records the leader's publish trace ID — propagated in the
+//     Iupdater-Trace-Id header on /records — as a leader_trace_id attr,
+//     linking a follower apply back to the exact leader update that
+//     produced it.
+//
+// The iupdater_update_duration_seconds stage histograms are fed the
+// identical measured durations as the update spans (one time.Since
+// feeds both), so metrics and traces never disagree about a stage.
+//
+// In serve mode every route runs under a trace (path http.<route>),
+// W3C traceparent is accepted on requests (a sampled flag forces
+// retention) and emitted on responses alongside Iupdater-Trace-Id, and
+// GET /traces / GET /traces/{id} expose the rings and full span trees
+// as JSON. -trace-head sets the head-sampling rate (default 1 in 100;
+// 0 disables), and -access-log enables a structured access log whose
+// every line carries the request's trace ID.
 //
 // # Query-path performance — the snapshot-time locate index
 //

@@ -80,6 +80,24 @@ type IndexStats struct {
 	ShardEvals uint64
 }
 
+// SearchInfo accumulates the per-query cost of a single candidate
+// search (or pursuit, which runs one search per round). Unlike
+// IndexStats — which aggregates across every concurrent query — a
+// SearchInfo passed down a query path receives exactly that query's
+// counts, so request-scoped traces can attribute cost causally. All
+// counters accumulate; zero the struct between queries. A nil
+// *SearchInfo is accepted everywhere and recorded nowhere.
+type SearchInfo struct {
+	// ColumnEvals counts full column correlation evaluations.
+	ColumnEvals uint64
+	// ShardEvals counts shard routing (bound) evaluations.
+	ShardEvals uint64
+	// ShardsVisited counts shards actually scanned after pruning.
+	ShardsVisited int
+	// Rounds counts pursuit rounds (greedy column selections).
+	Rounds int
+}
+
 // space is one geometric view of the fingerprint columns: the raw
 // columns (nearest-column and KNN matching), the mean-centered columns
 // (the drift residual), or the centered-and-normalized unit columns
@@ -637,7 +655,7 @@ func (ix *Index) NearestCentered(yc []float64) (int, float64) {
 // so a shard whose bound cannot beat the current best is skipped whole;
 // exact under SearchPruned, routed to the Fanout best-bounded shards
 // under SearchSharded.
-func (ix *Index) bestCorr(resid []float64, norms []float64, excluded []int, mode SearchMode) (int, float64) {
+func (ix *Index) bestCorr(resid []float64, norms []float64, excluded []int, mode SearchMode, info *SearchInfo) (int, float64) {
 	if norms == nil {
 		norms = ix.cen.norms
 	}
@@ -662,6 +680,7 @@ func (ix *Index) bestCorr(resid []float64, norms []float64, excluded []int, mode
 	}
 	best, bestJ := 0.0, -1
 	var ce, se uint64
+	var visited int
 	if mode == SearchExact || len(ix.shards) <= 1 {
 		for j := 0; j < ix.n; j++ {
 			if skip(j) {
@@ -694,7 +713,6 @@ func (ix *Index) bestCorr(resid []float64, norms []float64, excluded []int, mode
 		}
 		se = uint64(S)
 		sortByKey(s.order, s.key, true)
-		visited := 0
 		for _, si := range s.order {
 			if mode == SearchSharded && visited >= ix.cfg.Fanout {
 				break
@@ -721,6 +739,11 @@ func (ix *Index) bestCorr(resid []float64, norms []float64, excluded []int, mode
 	ix.colEvals.Add(ce)
 	if se > 0 {
 		ix.shardEvals.Add(se)
+	}
+	if info != nil {
+		info.ColumnEvals += ce
+		info.ShardEvals += se
+		info.ShardsVisited += visited
 	}
 	return bestJ, best
 }

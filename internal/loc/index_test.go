@@ -86,8 +86,12 @@ func TestIndexPrunedBitIdenticalToExhaustive(t *testing.T) {
 				return false
 			}
 			excl := []int{rng.Intn(n)}
-			bjP, bcP := ixP.bestCorr(yc, nil, excl, SearchPruned)
-			bjE, bcE := ixE.bestCorr(yc, nil, excl, SearchExact)
+			var info SearchInfo
+			bjP, bcP := ixP.bestCorr(yc, nil, excl, SearchPruned, &info)
+			bjE, bcE := ixE.bestCorr(yc, nil, excl, SearchExact, nil)
+			if info.ColumnEvals == 0 {
+				t.Fatalf("per-query SearchInfo recorded no column evals")
+			}
 			if bjP != bjE || bcP != bcE {
 				return false
 			}

@@ -84,7 +84,7 @@ func (o *OMP) Index() *Index { return o.ix }
 // column — the dominant explanation of the measurement — is the location
 // estimate.
 func (o *OMP) Locate(y []float64) (int, error) {
-	s, sel, _, err := o.pursue(y)
+	s, sel, _, err := o.pursue(y, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -96,7 +96,7 @@ func (o *OMP) Locate(y []float64) (int, error) {
 // Pursue runs the greedy pursuit and returns the selected column indices
 // in selection order.
 func (o *OMP) Pursue(y []float64) ([]int, error) {
-	s, sel, _, err := o.pursue(y)
+	s, sel, _, err := o.pursue(y, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func (o *OMP) Pursue(y []float64) ([]int, error) {
 // indices with their final least-squares weights (Eqn 26's nonlinear
 // optimization restricted to the selected support).
 func (o *OMP) PursueWeighted(y []float64) ([]int, []float64, error) {
-	s, sel, w, err := o.pursue(y)
+	s, sel, w, err := o.pursue(y, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +131,11 @@ func (o *OMP) PursueWeighted(y []float64) ([]int, []float64, error) {
 // Householder QR, and recomputes the residual from the original
 // columns. The weights of the final round are exactly the final-support
 // solve PursueWeighted needs — no separate re-solve.
-func (o *OMP) pursue(y []float64) (*queryScratch, []int, []float64, error) {
+//
+// info, when non-nil, accumulates this query's exact search cost
+// (column/shard evaluations and pursuit rounds) for request-scoped
+// tracing.
+func (o *OMP) pursue(y []float64, info *SearchInfo) (*queryScratch, []int, []float64, error) {
 	m, _ := o.ix.Dims()
 	if len(y) != m {
 		return nil, nil, nil, fmt.Errorf("loc: measurement has %d links, fingerprints have %d", len(y), m)
@@ -165,7 +169,10 @@ func (o *OMP) pursue(y []float64) (*queryScratch, []int, []float64, error) {
 	s.rhs = growF(s.rhs, m)
 	s.w = growF(s.w, maxK)
 	for len(s.sel) < maxK {
-		j, corr := o.ix.bestCorr(s.resid, o.colNorm, s.sel, o.ix.cfg.Mode)
+		j, corr := o.ix.bestCorr(s.resid, o.colNorm, s.sel, o.ix.cfg.Mode, info)
+		if info != nil {
+			info.Rounds++
+		}
 		if j < 0 || corr == 0 {
 			break
 		}
@@ -224,7 +231,14 @@ func NewOMPPointIndex(ix *Index, grid geom.Grid, cfg OMPConfig) *OMPPoint {
 
 // LocatePoint returns the continuous position estimate for y.
 func (op *OMPPoint) LocatePoint(y []float64) (geom.Point, error) {
-	s, sel, w, err := op.OMP.pursue(y)
+	return op.LocatePointInfo(y, nil)
+}
+
+// LocatePointInfo is LocatePoint with per-query search-cost capture:
+// when info is non-nil it accumulates exactly this query's column and
+// shard evaluation counts and pursuit rounds (see SearchInfo).
+func (op *OMPPoint) LocatePointInfo(y []float64, info *SearchInfo) (geom.Point, error) {
+	s, sel, w, err := op.OMP.pursue(y, info)
 	if err != nil {
 		return geom.Point{}, err
 	}

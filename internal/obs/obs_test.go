@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -121,4 +122,84 @@ func TestWriterSpecialValues(t *testing.T) {
 	if got != "g +Inf\ng -Inf\ng NaN\n" {
 		t.Fatalf("special values: %q", got)
 	}
+}
+
+// TestWriterLabelValueEscaping pins the exposition escaping of the
+// three special characters inside a label value: newline becomes \n,
+// a double quote \" and a backslash \\ — each must survive a
+// Prometheus parse back to the original value.
+func TestWriterLabelValueEscaping(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Sample("m", 1, Label{Name: "v", Value: "a\nb\"c\\d"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "m{v=\"a\\nb\\\"c\\\\d\"} 1\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("label escaping: got %q, want %q", got, want)
+	}
+}
+
+// TestWriterInfBucket pins the overflow-bucket rendering: an observed
+// +Inf lands only in the le="+Inf" bucket (the finite buckets stay
+// put), and the sum is spelled +Inf — not a parse-breaking "Inf" or
+// "inf".
+func TestWriterInfBucket(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(1)
+	h.Observe(math.Inf(1))
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Histogram("h", h.Snapshot())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum +Inf\nh_count 2\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("+Inf bucket rendering: got %q, want %q", got, want)
+	}
+}
+
+// TestHistogramScrapeWhileObserve renders snapshots concurrently with
+// a storm of observations — the /metrics scrape path racing the hot
+// path. Run under -race this proves the snapshot copy is properly
+// synchronized; the invariant check proves every snapshot is
+// internally consistent (bucket total == count) even mid-storm.
+func TestHistogramScrapeWhileObserve(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets...)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%100) * 1e-4)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var total uint64
+		for _, c := range s.Counts {
+			total += c
+		}
+		if total != s.Count {
+			t.Errorf("scrape %d: bucket total %d != count %d", i, total, s.Count)
+		}
+		w := NewWriter(io.Discard)
+		w.Family("h_seconds", "histogram", "concurrent scrape")
+		w.Histogram("h_seconds", s, Label{Name: "site", Value: "x"})
+		if err := w.Err(); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

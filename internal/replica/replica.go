@@ -30,6 +30,7 @@ import (
 
 	"iupdater/internal/obs"
 	"iupdater/internal/store"
+	"iupdater/internal/trace"
 )
 
 // Config parameterizes a Tailer.
@@ -63,6 +64,21 @@ type Config struct {
 	// a fleet of followers does not reconnect in lockstep; any
 	// successfully processed response resets the delay to MinBackoff.
 	MinBackoff, MaxBackoff time.Duration
+
+	// Tracer, when non-nil, records one "replica.poll" trace per poll:
+	// a longpoll span covering the leader request plus, per streamed
+	// frame, a validate span (the Replay CRC/structural recheck) and an
+	// apply span (the caller's Apply). Polls that applied at least one
+	// frame — or rejected one — are force-retained; empty caught-up
+	// polls follow normal sampling so long-poll idling does not flood
+	// the rings. The leader's publish trace ID, when advertised in the
+	// Iupdater-Trace-Id response header, is recorded as the root span's
+	// leader_trace_id attribute, linking the follower apply back to the
+	// leader publish that produced the newest streamed record.
+	Tracer *trace.Tracer
+
+	// Site labels the Tracer's traces (the follower's site name).
+	Site string
 }
 
 // applyFailureThreshold is the number of consecutive apply-side
@@ -211,15 +227,28 @@ func (t *Tailer) rebootstrap() {
 // with zero frames: the follower is caught up). Frames applied before
 // a mid-stream error still count — the next poll resumes after them.
 func (t *Tailer) poll(ctx context.Context) error {
+	tr := t.cfg.Tracer.Start("replica.poll", t.cfg.Site)
+	frames := 0
+	defer func() {
+		root := tr.Root()
+		root.SetInt("frames", int64(frames))
+		tr.Finish()
+	}()
 	u := fmt.Sprintf("%s?from=%d&wait=%s", t.cfg.URL, t.next, t.cfg.Wait)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return fmt.Errorf("replica: %w", err)
 	}
+	lp := tr.StartSpan("longpoll")
+	lp.SetInt("from", int64(t.next))
 	resp, err := t.cfg.Client.Do(req)
 	if err != nil {
+		lp.SetBool("error", true)
+		lp.End()
 		return fmt.Errorf("replica: polling leader: %w", err)
 	}
+	lp.SetInt("status", int64(resp.StatusCode))
+	lp.End()
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
@@ -234,6 +263,9 @@ func (t *Tailer) poll(ctx context.Context) error {
 	if v, err := strconv.ParseUint(resp.Header.Get("Iupdater-Leader-Version"), 10, 64); err == nil {
 		t.leader.Store(v)
 	}
+	if id := resp.Header.Get("Iupdater-Trace-Id"); id != "" {
+		tr.Root().SetStr("leader_trace_id", id)
+	}
 	for {
 		frame, err := store.ReadFrame(resp.Body)
 		if err == io.EOF {
@@ -242,13 +274,30 @@ func (t *Tailer) poll(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("replica: reading record stream: %w", err)
 		}
+		// A poll that carried frames — applied or rejected — is the
+		// interesting kind; retain its trace unconditionally.
+		tr.Force()
+		vsp := tr.StartSpan("validate")
+		vsp.SetInt("bytes", int64(len(frame)))
 		version, kind, err := t.replay.Apply(frame)
 		if err != nil {
+			vsp.SetBool("error", true)
+			vsp.End()
 			return applyError{fmt.Errorf("replica: %w", err)}
 		}
+		vsp.SetInt("version", int64(version))
+		vsp.SetStr("kind", kind.String())
+		vsp.End()
+		asp := tr.StartSpan("apply")
+		asp.SetInt("version", int64(version))
+		asp.SetStr("kind", kind.String())
 		if err := t.cfg.Apply(version, kind, t.replay.Payload()); err != nil {
+			asp.SetBool("error", true)
+			asp.End()
 			return applyError{fmt.Errorf("replica: applying version %d: %w", version, err)}
 		}
+		asp.End()
+		frames++
 		t.next = version + 1
 		t.applied.Store(version)
 	}

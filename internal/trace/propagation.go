@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strconv"
+)
+
+// W3C trace context (traceparent) support, version 00:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// ParseTraceparent accepts any version except ff (per spec, unknown
+// versions are parsed as version 00 when the tail matches); the only
+// flag interpreted is 0x01 (sampled).
+
+// ParseTraceparent parses a traceparent header value. ok is false for
+// malformed values, the all-zero trace ID, or the all-zero parent ID.
+func ParseTraceparent(s string) (id ID, parent uint64, sampled bool, ok bool) {
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return ID{}, 0, false, false
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return ID{}, 0, false, false
+	}
+	if _, err := hex.DecodeString(s[:2]); err != nil {
+		return ID{}, 0, false, false
+	}
+	id, idOK := ParseID(s[3:35])
+	if !idOK {
+		return ID{}, 0, false, false
+	}
+	p, err := strconv.ParseUint(s[36:52], 16, 64)
+	if err != nil || p == 0 {
+		return ID{}, 0, false, false
+	}
+	f, err := strconv.ParseUint(s[53:55], 16, 8)
+	if err != nil {
+		return ID{}, 0, false, false
+	}
+	return id, p, f&0x01 != 0, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(id ID, parent uint64, sampled bool) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], id[:])
+	b[35] = '-'
+	var p [8]byte
+	putU64(p[:], parent)
+	hex.Encode(b[36:52], p[:])
+	b[52] = '-'
+	b[53] = '0'
+	if sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the Trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is active. Under -race
+// sync.Pool drops items to widen the race-detection window, so pooled
+// trace scratch allocates; strict 0-alloc assertions only hold without
+// it.
+const raceEnabled = true

@@ -1,0 +1,614 @@
+// Package trace is a zero-dependency request-scoped span tracer in the
+// spirit of internal/obs: no third-party imports, lock-free publication,
+// and a hard zero-allocation contract on unsampled hot paths.
+//
+// A Trace is a flat, pooled recording of one request: a tree of spans
+// (name, start offset, duration, typed attributes) flattened into three
+// scratch slices that are reused across requests via a sync.Pool. Every
+// request on an instrumented path records into pooled scratch — the
+// retention decision is deferred to Finish so that a request that turns
+// out to be slow can always be captured even when head sampling skipped
+// it ("always capture slow"). Retained traces are copied into immutable
+// TraceData snapshots and published into two lock-free ring buffers
+// (recent and slow); the pooled scratch goes straight back to the pool,
+// so the steady-state unsampled path allocates nothing.
+//
+// Sampling policy, per root path:
+//
+//   - head sampling: 1 in HeadEvery traces is retained up front;
+//   - slow capture: any trace whose total duration reaches the path's
+//     slow threshold is retained regardless of head sampling;
+//   - forced: callers may pin rare, high-value traces (auto-updates,
+//     replica applies) with Trace.Force.
+//
+// All methods are safe on nil receivers: a nil *Tracer starts nil
+// *Traces, and every Span/Trace method no-ops on nil, so call sites do
+// not need tracer-enabled branches.
+package trace
+
+import (
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a 128-bit trace identifier, compatible with the W3C
+// traceparent trace-id field (32 lowercase hex digits).
+type ID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id ID) String() string {
+	var b [32]byte
+	hex.Encode(b[:], id[:])
+	return string(b[:])
+}
+
+// ParseID parses a 32-hex-digit trace ID. The zero ID is rejected.
+func ParseID(s string) (ID, bool) {
+	var id ID
+	if len(s) != 32 {
+		return ID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return ID{}, false
+	}
+	return id, true
+}
+
+// AttrKind discriminates the typed attribute payload.
+type AttrKind uint8
+
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindStr
+	KindBool
+)
+
+// Attr is one typed key/value attribute attached to a span.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// attrRec is the scratch-side attribute record; span is the index of
+// the owning span in the trace's flat span slice.
+type attrRec struct {
+	span int32
+	a    Attr
+}
+
+// spanRec is the scratch-side span record. Parent is the index of the
+// parent span in the flat slice (-1 for the root span).
+type spanRec struct {
+	id     uint64
+	parent int32
+	name   string
+	start  time.Duration // offset from trace start
+	dur    time.Duration
+	done   bool
+}
+
+// Trace is a pooled, mutable recording of one request. It is owned by
+// a single goroutine; methods must not be called concurrently.
+type Trace struct {
+	tr     *Tracer
+	id     ID
+	path   string
+	site   string
+	start  time.Time
+	slow   time.Duration // slow threshold resolved at Start
+	parent uint64        // remote parent span id (0 = none)
+	forced bool
+	head   bool // retained by head sampling
+	cur    int32
+	spans  []spanRec
+	attrs  []attrRec
+}
+
+// Span is a lightweight handle to an open span inside a Trace. The
+// zero Span (and any Span of a nil Trace) is a no-op.
+type Span struct {
+	t   *Trace
+	idx int32
+}
+
+// SpanData is one immutable span inside a retained TraceData.
+type SpanData struct {
+	ID       uint64
+	ParentID uint64 // 0 for the root span (or the remote parent id)
+	Name     string
+	Start    time.Duration // offset from trace start
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// TraceData is the immutable snapshot of a retained trace.
+type TraceData struct {
+	ID       ID
+	Path     string
+	Site     string
+	Start    time.Time
+	Duration time.Duration
+	Slow     bool   // met the per-path slow threshold
+	Forced   bool   // pinned by Trace.Force
+	Remote   uint64 // remote parent span id (0 = locally rooted)
+	Spans    []SpanData
+	seq      uint64
+}
+
+// Config parameterizes a Tracer. The zero value is usable: rings of
+// defaultRing entries, head sampling disabled (slow-capture and forced
+// traces only), and a 50 ms default slow threshold.
+type Config struct {
+	// RecentSize and SlowSize are the ring capacities (default 64).
+	RecentSize int
+	SlowSize   int
+	// HeadEvery retains 1 in HeadEvery traces up front; 0 disables
+	// head sampling.
+	HeadEvery int
+	// SlowThreshold maps a root path ("locate", "update", ...) to the
+	// latency at or beyond which its traces are always retained.
+	// Paths not present use DefaultSlow.
+	SlowThreshold map[string]time.Duration
+	// DefaultSlow is the threshold for unlisted paths (default 50 ms;
+	// negative disables slow capture for unlisted paths).
+	DefaultSlow time.Duration
+}
+
+const (
+	defaultRing = 64
+	defaultSlow = 50 * time.Millisecond
+)
+
+// Stats is a point-in-time snapshot of tracer activity counters.
+type Stats struct {
+	Started  uint64 // traces begun (sampled or not)
+	Retained uint64 // traces published to the recent ring
+	Slow     uint64 // retained traces that met their slow threshold
+}
+
+// Tracer owns the sampling policy, the ID generator, the span scratch
+// pool and the retained-trace rings. All methods are safe for
+// concurrent use, and safe on a nil *Tracer (everything no-ops).
+type Tracer struct {
+	headEvery uint64
+	defSlow   time.Duration
+	slowBy    map[string]time.Duration // read-only after New
+
+	headCtr  atomic.Uint64
+	idCtr    atomic.Uint64
+	seq      atomic.Uint64
+	started  atomic.Uint64
+	retained atomic.Uint64
+	slowCnt  atomic.Uint64
+
+	pool   sync.Pool
+	recent ring
+	slow   ring
+}
+
+// ring is a lock-free bounded buffer of retained traces: writers claim
+// a slot with an atomic counter and swap the entry pointer in.
+type ring struct {
+	pos  atomic.Uint64
+	slot []atomic.Pointer[TraceData]
+}
+
+func (r *ring) init(n int) {
+	if n <= 0 {
+		n = defaultRing
+	}
+	r.slot = make([]atomic.Pointer[TraceData], n)
+}
+
+func (r *ring) put(td *TraceData) {
+	i := r.pos.Add(1) - 1
+	r.slot[i%uint64(len(r.slot))].Store(td)
+}
+
+// snapshot returns the live entries, oldest first.
+func (r *ring) snapshot() []*TraceData {
+	out := make([]*TraceData, 0, len(r.slot))
+	for i := range r.slot {
+		if td := r.slot[i].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	// Insertion order via the global sequence stamp.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].seq > out[j].seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (r *ring) find(id ID) *TraceData {
+	for i := range r.slot {
+		if td := r.slot[i].Load(); td != nil && td.ID == id {
+			return td
+		}
+	}
+	return nil
+}
+
+// New builds a Tracer from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Tracer {
+	t := &Tracer{
+		headEvery: uint64(max(cfg.HeadEvery, 0)),
+		defSlow:   cfg.DefaultSlow,
+		slowBy:    make(map[string]time.Duration, len(cfg.SlowThreshold)),
+	}
+	if t.defSlow == 0 {
+		t.defSlow = defaultSlow
+	}
+	for p, d := range cfg.SlowThreshold {
+		t.slowBy[p] = d
+	}
+	t.recent.init(cfg.RecentSize)
+	t.slow.init(cfg.SlowSize)
+	t.pool.New = func() any {
+		return &Trace{
+			spans: make([]spanRec, 0, 16),
+			attrs: make([]attrRec, 0, 32),
+		}
+	}
+	// Seed the ID generator off the wall clock once; IDs then advance
+	// through a splitmix64 of a per-tracer counter.
+	t.idCtr.Store(uint64(time.Now().UnixNano()))
+	return t
+}
+
+// splitmix64 is the SplitMix64 output function: a cheap, well-mixed
+// bijection of the ID counter so trace IDs look random without any
+// locking or crypto dependency.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) newID() ID {
+	var id ID
+	c := t.idCtr.Add(2)
+	hi, lo := splitmix64(c), splitmix64(c+1)
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	putU64(id[:8], hi)
+	putU64(id[8:], lo)
+	return id
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func (t *Tracer) slowFor(path string) time.Duration {
+	if d, ok := t.slowBy[path]; ok {
+		return d
+	}
+	return t.defSlow
+}
+
+// Start begins recording a trace rooted at path for site. It returns
+// nil when t is nil. The returned Trace must be closed with Finish
+// (typically deferred) to either publish or recycle the scratch.
+func (t *Tracer) Start(path, site string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	tr := t.pool.Get().(*Trace)
+	tr.tr = t
+	tr.id = t.newID()
+	tr.path = path
+	tr.site = site
+	tr.start = time.Now()
+	tr.slow = t.slowFor(path)
+	tr.parent = 0
+	tr.forced = false
+	tr.head = t.headEvery > 0 && t.headCtr.Add(1)%t.headEvery == 0
+	tr.cur = -1
+	tr.spans = tr.spans[:0]
+	tr.attrs = tr.attrs[:0]
+	// Root span: same name as the path.
+	tr.push(path, tr.start)
+	return tr
+}
+
+// Stats returns the tracer's activity counters (zero for nil).
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Started:  t.started.Load(),
+		Retained: t.retained.Load(),
+		Slow:     t.slowCnt.Load(),
+	}
+}
+
+// Recent returns immutable snapshots of the recent ring, oldest first.
+func (t *Tracer) Recent() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	return t.recent.snapshot()
+}
+
+// SlowTraces returns immutable snapshots of the slow ring, oldest
+// first.
+func (t *Tracer) SlowTraces() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	return t.slow.snapshot()
+}
+
+// Get looks a retained trace up by ID in both rings.
+func (t *Tracer) Get(id ID) (*TraceData, bool) {
+	if t == nil || id.IsZero() {
+		return nil, false
+	}
+	if td := t.recent.find(id); td != nil {
+		return td, true
+	}
+	if td := t.slow.find(id); td != nil {
+		return td, true
+	}
+	return nil, false
+}
+
+// push appends a span starting at ts under the current open span and
+// makes it current. Returns its index.
+func (tr *Trace) push(name string, ts time.Time) int32 {
+	idx := int32(len(tr.spans))
+	tr.spans = append(tr.spans, spanRec{
+		id:     splitmix64(tr.tr.idCtr.Add(1)),
+		parent: tr.cur,
+		name:   name,
+		start:  ts.Sub(tr.start),
+	})
+	tr.cur = idx
+	return idx
+}
+
+// ID returns the trace's identifier (zero for nil).
+func (tr *Trace) ID() ID {
+	if tr == nil {
+		return ID{}
+	}
+	return tr.id
+}
+
+// RootSpanID returns the root span's identifier (0 for nil), for
+// emitting the parent-id field of an outgoing traceparent header.
+func (tr *Trace) RootSpanID() uint64 {
+	if tr == nil || len(tr.spans) == 0 {
+		return 0
+	}
+	return tr.spans[0].id
+}
+
+// Sampled reports whether the trace is already certain to be retained
+// (head-sampled or forced); slow capture may still retain it later.
+func (tr *Trace) Sampled() bool {
+	return tr != nil && (tr.head || tr.forced)
+}
+
+// Force pins the trace: it will be retained regardless of sampling.
+func (tr *Trace) Force() {
+	if tr != nil {
+		tr.forced = true
+	}
+}
+
+// SetRemote links the trace to a remote parent: the trace adopts the
+// caller-supplied ID (e.g. from an incoming traceparent header) and
+// records the remote span as the root's parent. sampled propagates the
+// upstream sampling decision.
+func (tr *Trace) SetRemote(id ID, parentSpan uint64, sampled bool) {
+	if tr == nil || id.IsZero() {
+		return
+	}
+	tr.id = id
+	tr.parent = parentSpan
+	if sampled {
+		tr.forced = true
+	}
+}
+
+// SetStart rewinds the trace's start to at (for traces whose causal
+// beginning predates Start, e.g. a drift episode's first flagged
+// observation). The root span's offset stays zero.
+func (tr *Trace) SetStart(at time.Time) {
+	if tr == nil || at.IsZero() || at.After(tr.start) {
+		return
+	}
+	delta := tr.start.Sub(at)
+	tr.start = at
+	for i := range tr.spans {
+		tr.spans[i].start += delta
+	}
+}
+
+// StartSpan opens a child span under the currently open span.
+func (tr *Trace) StartSpan(name string) Span {
+	if tr == nil {
+		return Span{}
+	}
+	return Span{t: tr, idx: tr.push(name, time.Now())}
+}
+
+// StartSpanAt opens a child span with an explicit start time (clamped
+// to the trace start).
+func (tr *Trace) StartSpanAt(name string, at time.Time) Span {
+	if tr == nil {
+		return Span{}
+	}
+	if at.Before(tr.start) {
+		at = tr.start
+	}
+	return Span{t: tr, idx: tr.push(name, at)}
+}
+
+// Finish closes the trace, retains it when sampled / forced / slow,
+// and returns the scratch to the pool. The Trace must not be used
+// after Finish.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	dur := time.Since(tr.start)
+	// Close every still-open span (root included) at the finish time.
+	for i := range tr.spans {
+		if !tr.spans[i].done {
+			tr.spans[i].dur = dur - tr.spans[i].start
+			tr.spans[i].done = true
+		}
+	}
+	t := tr.tr
+	if tr.forced || tr.head || (tr.slow >= 0 && dur >= tr.slow) {
+		t.retain(tr, dur)
+	}
+	tr.tr = nil
+	t.pool.Put(tr)
+}
+
+// retain copies the scratch into an immutable TraceData and publishes
+// it. This is the only allocating step, and only retained traces pay
+// it.
+func (t *Tracer) retain(tr *Trace, dur time.Duration) {
+	isSlow := tr.slow >= 0 && dur >= tr.slow
+	td := &TraceData{
+		ID:       tr.id,
+		Path:     tr.path,
+		Site:     tr.site,
+		Start:    tr.start,
+		Duration: dur,
+		Slow:     isSlow,
+		Forced:   tr.forced,
+		Remote:   tr.parent,
+		Spans:    make([]SpanData, len(tr.spans)),
+		seq:      t.seq.Add(1),
+	}
+	// Count attributes per span so each span gets one exact-size slice.
+	for i := range tr.spans {
+		s := &tr.spans[i]
+		var pid uint64
+		if s.parent >= 0 {
+			pid = tr.spans[s.parent].id
+		} else {
+			pid = tr.parent
+		}
+		td.Spans[i] = SpanData{
+			ID:       s.id,
+			ParentID: pid,
+			Name:     s.name,
+			Start:    s.start,
+			Duration: s.dur,
+		}
+	}
+	for i := range tr.attrs {
+		a := &tr.attrs[i]
+		td.Spans[a.span].Attrs = append(td.Spans[a.span].Attrs, a.a)
+	}
+	t.retained.Add(1)
+	t.recent.put(td)
+	if isSlow {
+		t.slowCnt.Add(1)
+		t.slow.put(td)
+	}
+}
+
+// End closes the span, recording its duration as time since its start.
+// It returns the recorded duration so callers can feed the very same
+// number into a histogram (metrics and traces cannot disagree).
+func (sp Span) End() time.Duration {
+	if sp.t == nil {
+		return 0
+	}
+	s := &sp.t.spans[sp.idx]
+	if s.done {
+		return s.dur
+	}
+	d := time.Since(sp.t.start) - s.start
+	sp.end(d)
+	return d
+}
+
+// EndDur closes the span with an externally measured duration (so one
+// time.Since result can serve both the span and a histogram).
+func (sp Span) EndDur(d time.Duration) {
+	if sp.t == nil {
+		return
+	}
+	if !sp.t.spans[sp.idx].done {
+		sp.end(d)
+	}
+}
+
+func (sp Span) end(d time.Duration) {
+	s := &sp.t.spans[sp.idx]
+	s.dur = d
+	s.done = true
+	// Pop back to this span's parent; if children were left open they
+	// are closed by Finish.
+	if sp.t.cur == sp.idx {
+		sp.t.cur = s.parent
+	}
+}
+
+// SetInt attaches an integer attribute to the span.
+func (sp Span) SetInt(key string, v int64) {
+	if sp.t != nil {
+		sp.t.attrs = append(sp.t.attrs, attrRec{span: sp.idx, a: Attr{Key: key, Kind: KindInt, Int: v}})
+	}
+}
+
+// SetFloat attaches a float attribute to the span.
+func (sp Span) SetFloat(key string, v float64) {
+	if sp.t != nil {
+		sp.t.attrs = append(sp.t.attrs, attrRec{span: sp.idx, a: Attr{Key: key, Kind: KindFloat, Float: v}})
+	}
+}
+
+// SetStr attaches a string attribute to the span.
+func (sp Span) SetStr(key, v string) {
+	if sp.t != nil {
+		sp.t.attrs = append(sp.t.attrs, attrRec{span: sp.idx, a: Attr{Key: key, Kind: KindStr, Str: v}})
+	}
+}
+
+// SetBool attaches a boolean attribute to the span.
+func (sp Span) SetBool(key string, v bool) {
+	if sp.t != nil {
+		var i int64
+		if v {
+			i = 1
+		}
+		sp.t.attrs = append(sp.t.attrs, attrRec{span: sp.idx, a: Attr{Key: key, Kind: KindBool, Int: i}})
+	}
+}
+
+// Root returns a handle to the trace's root span for attaching
+// request-level attributes.
+func (tr *Trace) Root() Span {
+	if tr == nil || len(tr.spans) == 0 {
+		return Span{}
+	}
+	return Span{t: tr, idx: 0}
+}

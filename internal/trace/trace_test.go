@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Config{HeadEvery: 1})
+	x := tr.Start("locate", "lab")
+	x.Root().SetStr("tier", "pruned")
+	sp := x.StartSpan("solve")
+	sp.SetInt("column_evals", 42)
+	sp.SetFloat("residual", 0.25)
+	sp.SetBool("converged", true)
+	child := x.StartSpan("ls")
+	child.End()
+	sp.End()
+	x.Finish()
+
+	td, ok := tr.Get(x.ID())
+	if !ok {
+		t.Fatalf("retained trace not found by ID")
+	}
+	if td.Path != "locate" || td.Site != "lab" {
+		t.Fatalf("path/site = %q/%q", td.Path, td.Site)
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	root, solve, ls := td.Spans[0], td.Spans[1], td.Spans[2]
+	if root.Name != "locate" || root.ParentID != 0 {
+		t.Fatalf("root span = %+v", root)
+	}
+	if solve.ParentID != root.ID {
+		t.Fatalf("solve parent = %d, want root %d", solve.ParentID, root.ID)
+	}
+	if ls.ParentID != solve.ID {
+		t.Fatalf("ls parent = %d, want solve %d", ls.ParentID, solve.ID)
+	}
+	if len(root.Attrs) != 1 || root.Attrs[0].Key != "tier" || root.Attrs[0].Str != "pruned" {
+		t.Fatalf("root attrs = %+v", root.Attrs)
+	}
+	if len(solve.Attrs) != 3 {
+		t.Fatalf("solve attrs = %+v", solve.Attrs)
+	}
+	if solve.Attrs[0].Int != 42 || solve.Attrs[1].Float != 0.25 || solve.Attrs[2].Int != 1 {
+		t.Fatalf("solve attr values = %+v", solve.Attrs)
+	}
+	if root.Duration <= 0 {
+		t.Fatalf("root duration = %v, want > 0", root.Duration)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{HeadEvery: 4, DefaultSlow: time.Hour})
+	for i := 0; i < 40; i++ {
+		x := tr.Start("locate", "")
+		x.StartSpan("solve").End()
+		x.Finish()
+	}
+	st := tr.Stats()
+	if st.Started != 40 {
+		t.Fatalf("started = %d, want 40", st.Started)
+	}
+	if st.Retained != 10 {
+		t.Fatalf("retained = %d, want 10 (1 in 4)", st.Retained)
+	}
+	if got := len(tr.Recent()); got != 10 {
+		t.Fatalf("recent ring has %d, want 10", got)
+	}
+	if got := len(tr.SlowTraces()); got != 0 {
+		t.Fatalf("slow ring has %d, want 0", got)
+	}
+}
+
+func TestSlowCapture(t *testing.T) {
+	tr := New(Config{SlowThreshold: map[string]time.Duration{"locate": time.Nanosecond}, DefaultSlow: time.Hour})
+	x := tr.Start("locate", "")
+	time.Sleep(time.Millisecond)
+	x.Finish()
+	// Unsampled but slow: retained in both rings.
+	if got := len(tr.Recent()); got != 1 {
+		t.Fatalf("recent = %d, want 1", got)
+	}
+	slow := tr.SlowTraces()
+	if len(slow) != 1 || !slow[0].Slow {
+		t.Fatalf("slow ring = %+v", slow)
+	}
+	// A fast path with an hour threshold is dropped.
+	y := tr.Start("update", "")
+	y.Finish()
+	if got := tr.Stats().Retained; got != 1 {
+		t.Fatalf("retained = %d, want 1", got)
+	}
+	if _, ok := tr.Get(y.ID()); ok {
+		t.Fatalf("dropped trace still retrievable")
+	}
+}
+
+func TestForceRetain(t *testing.T) {
+	tr := New(Config{DefaultSlow: time.Hour})
+	x := tr.Start("update", "lab")
+	x.Force()
+	if !x.Sampled() {
+		t.Fatalf("forced trace not Sampled")
+	}
+	id := x.ID()
+	x.Finish()
+	td, ok := tr.Get(id)
+	if !ok || !td.Forced {
+		t.Fatalf("forced trace not retained: %+v ok=%v", td, ok)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{RecentSize: 4, HeadEvery: 1, DefaultSlow: time.Hour})
+	var ids []ID
+	for i := 0; i < 10; i++ {
+		x := tr.Start("locate", "")
+		ids = append(ids, x.ID())
+		x.Finish()
+	}
+	rec := tr.Recent()
+	if len(rec) != 4 {
+		t.Fatalf("recent = %d, want ring size 4", len(rec))
+	}
+	// Oldest-first order, holding the newest four.
+	for i, td := range rec {
+		if td.ID != ids[6+i] {
+			t.Fatalf("ring[%d] = %s, want %s", i, td.ID, ids[6+i])
+		}
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatalf("evicted trace still retrievable")
+	}
+}
+
+func TestSetStartAndStartSpanAt(t *testing.T) {
+	tr := New(Config{HeadEvery: 1})
+	x := tr.Start("update", "")
+	episode := time.Now().Add(-50 * time.Millisecond)
+	x.SetStart(episode)
+	sp := x.StartSpanAt("detect", episode)
+	sp.End()
+	x.Finish()
+	td, _ := tr.Get(x.ID())
+	if td.Duration < 50*time.Millisecond {
+		t.Fatalf("trace duration %v does not cover the episode", td.Duration)
+	}
+	detect := td.Spans[1]
+	if detect.Start != 0 {
+		t.Fatalf("detect start offset = %v, want 0", detect.Start)
+	}
+	if detect.Duration < 50*time.Millisecond {
+		t.Fatalf("detect duration = %v, want >= 50ms", detect.Duration)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	x := tr.Start("locate", "")
+	if x != nil {
+		t.Fatalf("nil tracer started a trace")
+	}
+	// All of these must no-op without panicking.
+	x.Force()
+	x.SetStart(time.Now())
+	x.SetRemote(ID{1}, 2, true)
+	sp := x.StartSpan("solve")
+	sp.SetInt("k", 1)
+	sp.SetStr("s", "v")
+	sp.SetFloat("f", 1.5)
+	sp.SetBool("b", true)
+	sp.End()
+	sp.EndDur(time.Second)
+	x.Root().End()
+	x.Finish()
+	if x.ID() != (ID{}) || x.RootSpanID() != 0 || x.Sampled() {
+		t.Fatalf("nil trace leaked state")
+	}
+	if got := tr.Stats(); got != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", got)
+	}
+	if tr.Recent() != nil || tr.SlowTraces() != nil {
+		t.Fatalf("nil tracer returned rings")
+	}
+	if _, ok := tr.Get(ID{1}); ok {
+		t.Fatalf("nil tracer resolved an ID")
+	}
+}
+
+func TestEndDurAgreesWithSpan(t *testing.T) {
+	tr := New(Config{HeadEvery: 1})
+	x := tr.Start("update", "")
+	sp := x.StartSpan("persist")
+	want := 123 * time.Millisecond
+	sp.EndDur(want)
+	x.Finish()
+	td, _ := tr.Get(x.ID())
+	if got := td.Spans[1].Duration; got != want {
+		t.Fatalf("span duration = %v, want externally measured %v", got, want)
+	}
+}
+
+func TestUnsampledPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; 0-alloc holds without it")
+	}
+	tr := New(Config{HeadEvery: 0, DefaultSlow: time.Hour})
+	record := func() {
+		x := tr.Start("locate", "lab")
+		sp := x.StartSpan("solve")
+		sp.SetStr("tier", "pruned")
+		sp.SetInt("column_evals", 17)
+		sp.End()
+		x.Root().SetInt("version", 3)
+		x.Finish()
+	}
+	for i := 0; i < 64; i++ {
+		record() // warm the pool and slice capacities
+	}
+	if avg := testing.AllocsPerRun(400, record); avg != 0 {
+		t.Fatalf("unsampled trace path allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestConcurrentStartFinish(t *testing.T) {
+	tr := New(Config{HeadEvery: 3, RecentSize: 32, DefaultSlow: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				x := tr.Start("locate", "lab")
+				sp := x.StartSpan("solve")
+				sp.SetInt("i", int64(i))
+				sp.End()
+				x.Finish()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, td := range tr.Recent() {
+				if td.ID.IsZero() || len(td.Spans) == 0 {
+					panic(fmt.Sprintf("corrupt retained trace: %+v", td))
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := tr.Stats()
+	if st.Started != 1600 {
+		t.Fatalf("started = %d, want 1600", st.Started)
+	}
+	if st.Retained == 0 {
+		t.Fatalf("no traces retained under head sampling")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{HeadEvery: 1})
+	x := tr.Start("http", "")
+	hdr := FormatTraceparent(x.ID(), x.RootSpanID(), true)
+	id, parent, sampled, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", hdr)
+	}
+	if id != x.ID() || parent != x.RootSpanID() || !sampled {
+		t.Fatalf("parsed %s/%d/%v, want %s/%d/true", id, parent, sampled, x.ID(), x.RootSpanID())
+	}
+	x.Finish()
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // non-hex
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // non-hex flags
+	}
+	for _, s := range bad {
+		if _, _, _, ok := ParseTraceparent(s); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Trailing tracestate-style suffixes after the flags are tolerated.
+	id, parent, sampled, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || sampled {
+		t.Fatalf("canonical unsampled header rejected (ok=%v sampled=%v)", ok, sampled)
+	}
+	if id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" || parent != 0x00f067aa0ba902b7 {
+		t.Fatalf("parsed %s/%x", id, parent)
+	}
+}
+
+func TestParseID(t *testing.T) {
+	if _, ok := ParseID("00000000000000000000000000000000"); ok {
+		t.Fatalf("zero ID accepted")
+	}
+	if _, ok := ParseID("short"); ok {
+		t.Fatalf("short ID accepted")
+	}
+	id, ok := ParseID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok || id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("ParseID round trip failed: %v %s", ok, id)
+	}
+}

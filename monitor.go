@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"iupdater/internal/drift"
+	"iupdater/internal/trace"
 )
 
 // DriftDetector is a streaming change detector over the staleness
@@ -263,6 +265,11 @@ type MonitorStats struct {
 	SnapshotVersion uint64
 	// LastError is the message of the most recent update error, if any.
 	LastError string
+	// LastUpdateTraceID is the trace ID of the most recent
+	// auto-triggered update, when the deployment has a tracer attached
+	// (auto-update traces are always retained — retrieve the full
+	// detect→sample→reconstruct→persist→swap span tree at /traces/{id}).
+	LastUpdateTraceID string
 }
 
 // Monitor closes the paper's detect -> measure -> update loop around a
@@ -303,6 +310,10 @@ type Monitor struct {
 	updating   bool
 	closed     bool
 	stats      MonitorStats
+	// episodeStart is when the current drift episode's first flagged
+	// observation arrived; an auto-update trace starts here, so its
+	// detect span covers the whole hysteresis window.
+	episodeStart time.Time
 
 	// restored carries a persisted calibrated floor until the first
 	// Observe decides whether it still applies (same snapshot version).
@@ -441,6 +452,8 @@ func (m *Monitor) saveStateLocked() {
 // monitor. It returns an error only for malformed input or a closed
 // monitor; detection and update outcomes are reported through Stats.
 func (m *Monitor) Observe(rss []float64) error {
+	tr := m.d.cfg.tracer.Start("observe", m.d.cfg.site)
+	defer tr.Finish()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -451,7 +464,11 @@ func (m *Monitor) Observe(rss []float64) error {
 		// A new database version changes the residual baseline: rebind
 		// the scorer to the snapshot's locate index (whose centered
 		// columns were already built on the publish path) and
-		// re-calibrate the detector.
+		// re-calibrate the detector. This closes the update pipeline —
+		// the re-baseline span links back to the publish that caused it
+		// (when that publish was traced), so an auto-update's effect on
+		// monitoring is causally attributable.
+		sp := tr.StartSpan("rebaseline")
 		m.res = drift.NewResidualizerIndex(snap.ix)
 		m.resVersion = snap.version
 		m.cfg.detector.Reset()
@@ -469,23 +486,37 @@ func (m *Monitor) Observe(rss []float64) error {
 		m.restoredOK = false
 		m.consec = 0
 		m.attr.Reset()
+		sp.SetInt("version", int64(snap.version))
+		if id, ok := m.d.PublishTraceID(snap.version); ok {
+			sp.SetStr("publish_trace_id", id.String())
+		}
+		sp.End()
 	}
 	if len(rss) != m.res.Links() {
 		return fmt.Errorf("iupdater: measurement has %d links, deployment has %d", len(rss), m.res.Links())
 	}
+	sp := tr.StartSpan("residual")
 	r := m.res.ResidualAttributed(rss, m.scratch, m.perLink)
 	m.attr.Observe(m.perLink)
+	sp.SetFloat("residual_db", r)
+	sp.End()
 	m.stats.Queries++
 	m.stats.Residual = r
 	if m.cooldown > 0 {
 		m.cooldown--
 	}
 	if m.cfg.detector.Observe(r) {
+		if m.consec == 0 {
+			m.episodeStart = time.Now()
+		}
 		m.consec++
 	} else {
 		m.consec = 0
 	}
 	m.stats.Score = m.cfg.detector.Score()
+	root := tr.Root()
+	root.SetFloat("score", m.stats.Score)
+	root.SetInt("consecutive", int64(m.consec))
 	// Persist the floor the moment calibration completes — a one-time
 	// write per snapshot version, in the same "not the steady state"
 	// class as the residualizer rebuild above. Steady-state Observe
@@ -543,41 +574,71 @@ func (m *Monitor) nextCooldownLocked() int {
 }
 
 // triggerUpdateLocked starts the auto-update. m.mu must be held.
+//
+// With a tracer attached, the auto-update records a forced (always
+// retained) trace whose start is rewound to the drift episode's first
+// flagged observation: the detect span covers the whole hysteresis
+// window, and the stages that follow — sample, reconstruct, persist,
+// swap — land in the same tree, so "where did this update's time go?"
+// has one causally complete answer at /traces/{id}.
 func (m *Monitor) triggerUpdateLocked() {
 	m.updating = true
 	m.stats.UpdatesTriggered++
 	m.cooldown = m.nextCooldownLocked()
+	tr := m.d.cfg.tracer.Start("update", m.d.cfg.site)
+	if tr != nil {
+		tr.Force()
+		tr.SetStart(m.episodeStart)
+		sp := tr.StartSpanAt("detect", m.episodeStart)
+		sp.SetFloat("residual_db", m.stats.Residual)
+		sp.SetFloat("score", m.stats.Score)
+		sp.SetInt("consecutive", int64(m.consec))
+		sp.SetInt("snapshot_version", int64(m.resVersion))
+		sp.End()
+		m.stats.LastUpdateTraceID = tr.ID().String()
+	}
 	if m.cfg.sync {
 		// Inline: Observe returns only after the new snapshot (or the
 		// failure) is in place. performUpdate takes no monitor state, so
 		// holding m.mu is safe — it just blocks concurrent observers,
 		// which is the point of synchronous mode.
-		m.finishUpdateLocked(m.performUpdate())
+		m.finishUpdateLocked(m.performUpdate(tr))
+		tr.Finish()
 		return
 	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		err := m.performUpdate()
+		err := m.performUpdate(tr)
 		m.mu.Lock()
 		m.finishUpdateLocked(err)
 		m.mu.Unlock()
+		tr.Root().SetBool("error", err != nil)
+		tr.Finish()
 	}()
 }
 
 // performUpdate samples fresh measurements and runs the deployment
-// update. It touches no monitor state (only d and the sampler), so it
-// runs without m.mu on the async path.
-func (m *Monitor) performUpdate() error {
+// update, recording the sample stage (reference-point measurement)
+// into tr; UpdateTraced records the rest of the pipeline. It touches
+// no monitor state (only d and the sampler), so it runs without m.mu
+// on the async path.
+func (m *Monitor) performUpdate(tr *trace.Trace) error {
 	refs, err := m.d.ReferenceLocations()
 	if err != nil {
 		return err
 	}
+	sp := tr.StartSpan(StageSample)
+	t0 := time.Now()
 	in, err := m.sampler.SampleReferences(refs)
+	el := time.Since(t0)
+	sp.SetInt("references", int64(len(refs)))
+	sp.EndDur(el)
+	m.d.updLat[StageSample].Observe(el.Seconds())
 	if err != nil {
 		return err
 	}
-	_, err = m.d.Update(in.NoDecrease, in.Known, in.References)
+	_, err = m.d.UpdateTraced(tr, in.NoDecrease, in.Known, in.References)
 	return err
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"iupdater/internal/trace"
 )
 
 // scriptedDetector flags according to a caller-controlled schedule.
@@ -25,10 +27,10 @@ func (d *scriptedDetector) Reset() { d.resets++ }
 
 // monitorFixture deploys a small office testbed and returns query
 // vectors measured at the given elapsed time.
-func monitorFixture(t testing.TB, seed uint64) (*Testbed, *Deployment, func(q int, at time.Duration) []float64) {
+func monitorFixture(t testing.TB, seed uint64, opts ...Option) (*Testbed, *Deployment, func(q int, at time.Duration) []float64) {
 	t.Helper()
 	tb := NewTestbed(Office(), seed)
-	d, _, err := tb.Deploy(0, 20)
+	d, _, err := tb.Deploy(0, 20, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,12 +292,16 @@ func TestMonitorObserveAllocBudget(t *testing.T) {
 // TestInstrumentedHotPathsAllocFree pins the observability cost of the
 // query path at zero: Locate (timing every call into the latency
 // histogram) and Monitor.Observe (folding per-link attribution into the
-// EWMA tracker) must stay allocation-free in steady state.
+// EWMA tracker) must stay allocation-free in steady state — with a
+// tracer attached. Every query records a full span tree into pooled
+// scratch; as long as the trace is not retained (no head sampling, no
+// slow threshold hit), the scratch goes straight back to the pool.
 func TestInstrumentedHotPathsAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("-race makes sync.Pool drop items, so pooled paths allocate")
 	}
-	_, d, query := monitorFixture(t, 1)
+	tracer := trace.New(trace.Config{DefaultSlow: -1})
+	_, d, query := monitorFixture(t, 1, WithTracer(tracer, "hot"))
 	m, err := NewMonitor(d, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -330,6 +336,13 @@ func TestInstrumentedHotPathsAllocFree(t *testing.T) {
 	}
 	if n := d.LocateLatency().Snapshot().Count; n == 0 {
 		t.Error("latency histogram observed nothing")
+	}
+	// The zero-alloc result must not come from tracing being bypassed:
+	// every query above started (and discarded) a trace.
+	if st := tracer.Stats(); st.Started == 0 {
+		t.Error("tracer saw no traces: the hot paths bypassed tracing")
+	} else if st.Retained != 0 {
+		t.Errorf("%d traces retained; the unsampled path should discard all", st.Retained)
 	}
 }
 

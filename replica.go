@@ -14,6 +14,7 @@ import (
 	"iupdater/internal/obs"
 	"iupdater/internal/replica"
 	"iupdater/internal/store"
+	"iupdater/internal/trace"
 )
 
 // This file is the replication surface: ServeRecords exposes a leader
@@ -109,6 +110,14 @@ func (d *Deployment) ServeRecords() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Iupdater-Leader-Version", strconv.FormatUint(d.Version(), 10))
+		if len(frames) > 0 {
+			// Advertise the publish trace of the newest streamed record so
+			// the follower's apply trace can link back to it (best effort:
+			// publishes older than the retained trace window have no ID).
+			if id, ok := d.PublishTraceID(st.LatestVersion()); ok {
+				w.Header().Set("Iupdater-Trace-Id", id.String())
+			}
+		}
 		for _, frame := range frames {
 			if _, err := w.Write(frame); err != nil {
 				// The follower vanished mid-stream; it will resume from
@@ -147,6 +156,8 @@ type replicaConfig struct {
 	minBackoff time.Duration
 	maxBackoff time.Duration
 	search     loc.IndexConfig
+	tracer     *trace.Tracer
+	site       string
 }
 
 // WithReplicaClient sets the HTTP client used to tail the leader
@@ -175,6 +186,20 @@ func WithReplicaWait(d time.Duration) ReplicaOption {
 // failed polls (defaults 100ms and 5s).
 func WithReplicaBackoff(min, max time.Duration) ReplicaOption {
 	return func(cfg *replicaConfig) { cfg.minBackoff, cfg.maxBackoff = min, max }
+}
+
+// WithReplicaTracer attaches a span tracer to the replica, as
+// WithTracer does for a leader deployment. Every tail poll records a
+// "replica.poll" trace (longpoll → per-frame validate → apply); polls
+// that carried frames are force-retained, and when the leader
+// advertises the publish trace ID of its newest record in the
+// Iupdater-Trace-Id response header, the follower trace carries it as
+// the root leader_trace_id attribute — the cross-node link from a
+// follower apply back to the leader publish that produced it. Replica
+// Locate calls record "locate" traces under the same sampling policy.
+// site labels the traces (typically the follower's site name).
+func WithReplicaTracer(t *trace.Tracer, site string) ReplicaOption {
+	return func(cfg *replicaConfig) { cfg.tracer, cfg.site = t, site }
 }
 
 // WithReplicaExactSearch forces the replica's snapshots to the
@@ -258,6 +283,8 @@ func OpenReplica(recordsURL string, opts ...ReplicaOption) (*Replica, error) {
 		Wait:       cfg.wait,
 		MinBackoff: cfg.minBackoff,
 		MaxBackoff: cfg.maxBackoff,
+		Tracer:     cfg.tracer,
+		Site:       cfg.site,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: %w", err)
@@ -395,15 +422,35 @@ func (r *Replica) WaitVersion(ctx context.Context, version uint64) (*Snapshot, e
 func (r *Replica) LocateLatency() *obs.Histogram { return r.lat }
 
 // Locate estimates the target position against the replica's latest
-// applied snapshot.
+// applied snapshot. With WithReplicaTracer attached it records a
+// "locate" trace exactly as a leader Deployment does.
 func (r *Replica) Locate(rss []float64) (Position, error) {
 	s := r.snap.Load()
 	if s == nil {
 		return Position{}, errors.New("iupdater: replica has not applied a snapshot yet")
 	}
+	tr := r.cfg.tracer.Start("locate", r.cfg.site)
 	start := time.Now()
-	p, err := s.Locate(rss)
-	r.lat.Observe(time.Since(start).Seconds())
+	if tr == nil {
+		p, err := s.Locate(rss)
+		r.lat.Observe(time.Since(start).Seconds())
+		return p, err
+	}
+	sp := tr.StartSpan("omp.solve")
+	p, st, err := s.LocateWithStats(rss)
+	sp.SetStr("tier", st.Tier)
+	sp.SetInt("column_evals", int64(st.ColumnEvals))
+	sp.SetInt("shard_evals", int64(st.ShardEvals))
+	sp.SetInt("shards_visited", int64(st.ShardsVisited))
+	sp.SetInt("rounds", int64(st.Rounds))
+	sp.End()
+	el := time.Since(start)
+	r.lat.Observe(el.Seconds())
+	root := tr.Root()
+	root.SetInt("version", int64(st.Version))
+	root.SetBool("error", err != nil)
+	root.EndDur(el)
+	tr.Finish()
 	return p, err
 }
 

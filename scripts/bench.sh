@@ -41,11 +41,17 @@
 #	                                     candidate-search claim)
 #	KNNNeighbors             <=      2  (0 measured: bounded top-k heap
 #	                                     into caller-provided slices)
+#	LocateTraced/unsampled   <=      2  (0 measured: pooled span scratch
+#	                                     keeps tracing off the allocator
+#	                                     when a trace is not retained)
+#	LocateTraced/sampled     <=     16  (~8 measured: the copy-on-retain
+#	                                     of the span tree into the ring
+#	                                     when every trace is kept)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply|LocateLargeGrid|KNNNeighbors' \
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply|LocateLargeGrid|KNNNeighbors|LocateTraced' \
 	-benchtime "$benchtime" -benchmem "$@" . ./internal/store ./internal/loc)"
 echo "$out"
 
@@ -81,6 +87,8 @@ BEGIN {
 	budget["BenchmarkLocateLargeGrid/100x-sharded"] = 2
 	budget["BenchmarkLocateLargeGrid/100x-exact"] = 2
 	budget["BenchmarkKNNNeighbors"] = 2
+	budget["BenchmarkLocateTraced/unsampled"] = 2
+	budget["BenchmarkLocateTraced/sampled"] = 16
 	failures = 0
 }
 /^Benchmark/ {

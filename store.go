@@ -174,13 +174,16 @@ func (s *Store) Close() error {
 // appendSnapshot persists one published snapshot. The store diffs the
 // encoded payload column-wise against the previous retained version and
 // writes a delta record when few columns changed, a full record
-// otherwise; either way the append is fsynced before it returns.
-func (s *Store) appendSnapshot(version uint64, g Geometry, fp Matrix) error {
+// otherwise; either way the append is fsynced before it returns. The
+// returned kind ("full" or "delta") is what the publish trace's
+// persist span reports as the durability cost class of the publish.
+func (s *Store) appendSnapshot(version uint64, g Geometry, fp Matrix) (string, error) {
 	layout := store.Layout{HeaderLen: snapshotHeaderLen, ChunkSize: fp.rows * 8}
-	if _, err := s.st.AppendDelta(version, encodeSnapshot(g, fp), layout); err != nil {
-		return fmt.Errorf("iupdater: persisting snapshot v%d: %w", version, err)
+	kind, err := s.st.AppendDelta(version, encodeSnapshot(g, fp), layout)
+	if err != nil {
+		return "", fmt.Errorf("iupdater: persisting snapshot v%d: %w", version, err)
 	}
-	return nil
+	return kind.String(), nil
 }
 
 // latestSnapshot loads the newest stored snapshot.

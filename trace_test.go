@@ -1,0 +1,270 @@
+package iupdater
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"iupdater/internal/trace"
+)
+
+// spanByName finds a span in a retained trace by name.
+func spanByName(td *trace.TraceData, name string) (trace.SpanData, bool) {
+	for _, sp := range td.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return trace.SpanData{}, false
+}
+
+func attrOf(sp trace.SpanData, key string) (trace.Attr, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return trace.Attr{}, false
+}
+
+// TestUpdateTraceTree publishes a manual update on a durable deployment
+// and asserts the retained trace covers the whole pipeline:
+// reconstruct → snapshot.build → persist → swap, all with non-zero
+// durations, and that the stage histograms saw the same stages.
+func TestUpdateTraceTree(t *testing.T) {
+	tracer := trace.New(trace.Config{HeadEvery: 1})
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(Office(), 1)
+	d, _, err := tb.Deploy(0, 20, WithStore(st), WithTracer(tracer, "office"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	at := 45 * 24 * time.Hour
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, _ := tb.ReferenceMatrix(at, refs)
+	snap, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), xr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The update trace is head-sampled (1 in 1); find it in the ring.
+	var td *trace.TraceData
+	for _, cand := range tracer.Recent() {
+		if cand.Path == "update" {
+			td = cand
+		}
+	}
+	if td == nil {
+		t.Fatalf("no update trace retained; recent = %+v", tracer.Recent())
+	}
+	if td.Site != "office" {
+		t.Errorf("trace site %q, want office", td.Site)
+	}
+	if td.Duration <= 0 {
+		t.Errorf("trace duration %v, want > 0", td.Duration)
+	}
+	for _, name := range []string{StageReconstruct, "snapshot.build", StagePersist, StageSwap} {
+		sp, ok := spanByName(td, name)
+		if !ok {
+			t.Errorf("span %q missing from update trace %+v", name, td.Spans)
+			continue
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("span %q duration %v, want > 0", name, sp.Duration)
+		}
+		if sp.ParentID != td.Spans[0].ID {
+			t.Errorf("span %q parent %d, want root %d", name, sp.ParentID, td.Spans[0].ID)
+		}
+	}
+	if sp, ok := spanByName(td, StagePersist); ok {
+		if a, ok := attrOf(sp, "record_kind"); !ok || (a.Str != "full" && a.Str != "delta") {
+			t.Errorf("persist span record_kind = %+v, want full or delta", sp.Attrs)
+		}
+	}
+
+	// The publish trace registry links the published version back to
+	// this trace — the hook ServeRecords uses for follower linkage.
+	if id, ok := d.PublishTraceID(snap.Version()); !ok || id != td.ID {
+		t.Errorf("PublishTraceID(%d) = %v, %v; want %v, true", snap.Version(), id, ok, td.ID)
+	}
+
+	// "Fed from the same spans": every traced stage must have exactly
+	// one observation in its latency histogram, and the histogram sum
+	// must equal the span duration (the identical measured value).
+	for _, stage := range UpdateStages() {
+		if stage == StageSample {
+			continue // manual updates have no sampling stage
+		}
+		hs := d.UpdateStageLatency(stage).Snapshot()
+		if hs.Count != 1 {
+			t.Errorf("stage %q histogram count %d, want 1", stage, hs.Count)
+			continue
+		}
+		sp, _ := spanByName(td, stage)
+		if want := sp.Duration.Seconds(); hs.Sum != want {
+			t.Errorf("stage %q histogram sum %v != span duration %v", stage, hs.Sum, want)
+		}
+	}
+	if d.Publishes() != 1 {
+		t.Errorf("publishes %d, want 1", d.Publishes())
+	}
+}
+
+// TestAutoUpdateTraceTree drives a drift-triggered auto-update and
+// asserts the forced trace is retrievable by the ID the monitor
+// reports, covering detect → sample → reconstruct → persist → swap.
+// The detect span must span the hysteresis window (both flagged
+// observations), so its duration is non-zero by construction.
+func TestAutoUpdateTraceTree(t *testing.T) {
+	tracer := trace.New(trace.Config{DefaultSlow: -1}) // forced-only retention
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(Office(), 1)
+	d, _, err := tb.Deploy(0, 20, WithStore(st), WithTracer(tracer, "office"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	clock := 45 * 24 * time.Hour
+	det := &scriptedDetector{flag: true}
+	m, err := NewMonitor(d, tb.Sampler(func() time.Duration { return clock }),
+		WithDriftDetector(det), WithDriftHysteresis(2), WithSynchronousUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if err := m.Observe(tb.MeasureOnline(2, 2, clock)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := m.Stats()
+	if stats.UpdatesCompleted != 1 {
+		t.Fatalf("updates completed %d, want 1 (%+v)", stats.UpdatesCompleted, stats)
+	}
+	if stats.LastUpdateTraceID == "" {
+		t.Fatal("no LastUpdateTraceID after auto-update")
+	}
+	id, ok := trace.ParseID(stats.LastUpdateTraceID)
+	if !ok {
+		t.Fatalf("LastUpdateTraceID %q is not a trace ID", stats.LastUpdateTraceID)
+	}
+	td, ok := tracer.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained (auto-update traces must be forced)", id)
+	}
+	if !td.Forced {
+		t.Error("auto-update trace not marked forced")
+	}
+	for _, name := range []string{"detect", StageSample, StageReconstruct, StagePersist, StageSwap} {
+		sp, ok := spanByName(td, name)
+		if !ok {
+			t.Errorf("span %q missing from auto-update trace %+v", name, td.Spans)
+			continue
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("span %q duration %v, want > 0", name, sp.Duration)
+		}
+	}
+	// Sample-stage histogram fed from the same span duration.
+	if hs := d.UpdateStageLatency(StageSample).Snapshot(); hs.Count != 1 {
+		t.Errorf("sample stage histogram count %d, want 1", hs.Count)
+	}
+}
+
+// TestReplicaPollTraceLinksLeaderPublish replicates one published
+// update and asserts the follower's forced replica.poll trace carries
+// the leader's publish trace ID (propagated via the Iupdater-Trace-Id
+// header on /records) plus validate and apply spans per frame.
+func TestReplicaPollTraceLinksLeaderPublish(t *testing.T) {
+	leaderTr := trace.New(trace.Config{HeadEvery: 1})
+	st, err := OpenStore(t.TempDir(), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTestbed(Office(), 1)
+	d, _, err := tb.Deploy(0, 20, WithStore(st), WithTracer(leaderTr, "leader"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	at := 45 * 24 * time.Hour
+	refs, err := d.ReferenceLocations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, _ := tb.ReferenceMatrix(at, refs)
+	snap, err := d.Update(tb.NoDecreaseMatrix(at), tb.Mask(), xr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, ok := d.PublishTraceID(snap.Version())
+	if !ok {
+		t.Fatal("leader recorded no publish trace ID")
+	}
+
+	srv := httptest.NewServer(d.ServeRecords())
+	defer srv.Close()
+	followerTr := trace.New(trace.Config{DefaultSlow: -1})
+	rep, err := OpenReplica(srv.URL,
+		WithReplicaTracer(followerTr, "branch"),
+		WithReplicaWait(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := rep.WaitVersion(ctx, snap.Version()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The poll that streamed frames is forced; it must link the leader
+	// publish trace and carry validate/apply spans.
+	var linked *trace.TraceData
+	deadline := time.Now().Add(5 * time.Second)
+	for linked == nil && time.Now().Before(deadline) {
+		for _, td := range followerTr.Recent() {
+			if td.Path != "replica.poll" || !td.Forced {
+				continue
+			}
+			if a, ok := attrOf(td.Spans[0], "leader_trace_id"); ok && a.Str == wantID.String() {
+				linked = td
+				break
+			}
+		}
+		if linked == nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if linked == nil {
+		t.Fatalf("no replica.poll trace linking leader publish %s; recent = %+v", wantID, followerTr.Recent())
+	}
+	for _, name := range []string{"longpoll", "validate", "apply"} {
+		sp, ok := spanByName(linked, name)
+		if !ok {
+			t.Errorf("span %q missing from replica.poll trace %+v", name, linked.Spans)
+			continue
+		}
+		if name != "longpoll" && sp.Duration < 0 {
+			t.Errorf("span %q duration %v negative", name, sp.Duration)
+		}
+	}
+	if sp, ok := spanByName(linked, "apply"); ok {
+		if a, ok := attrOf(sp, "version"); !ok || a.Int < 1 {
+			t.Errorf("apply span version attr = %+v, want >= 1", sp.Attrs)
+		}
+	}
+}
