@@ -26,13 +26,19 @@
 // histograms, search work, drift and per-link attribution, store and
 // replication state, one site label per sample), and each site answers
 // under /sites/{name}/locate|update|snapshot|drift|rollback|records
-// (the bare routes remain aliases for the first site). With -data-dir,
-// every
+// (the bare routes remain aliases for the first site). Sites also come
+// and go at runtime: PUT /sites/{name} creates one (JSON body: env,
+// seed, token, monitor), DELETE removes it, and a site created with a
+// token requires it as a bearer Authorization header on every mutating
+// route. With -data-dir, every
 // published snapshot is persisted to an append-only checksummed store
 // under dir/<site>, a restart warm-starts from the latest version (no
-// re-survey, resumed drift baseline), POST .../rollback?version=N
-// republishes a retained version, and -retain bounds how many versions
-// each site keeps.
+// re-survey, resumed drift baseline), API-created sites are recorded
+// in dir/fleet.manifest and re-created warm on the next start, POST
+// .../rollback?version=N republishes a retained version, and -retain
+// bounds how many versions each site keeps. -resident caps how many
+// sites stay materialized in RAM: past the cap, cold durable sites
+// park and the next query re-materializes them from their store.
 //
 // Durable sites also stream their snapshot record log to followers
 // under GET /records (per-site: /sites/{name}/records). A follower —

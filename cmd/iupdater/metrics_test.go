@@ -292,6 +292,10 @@ var metricFamilies = []string{
 	"iupdater_store_bytes",
 	"iupdater_store_records",
 	"iupdater_store_compactions_total",
+	"iupdater_sites",
+	"iupdater_site_evictions_total",
+	"iupdater_site_rehydrations_total",
+	"iupdater_site_rehydration_seconds",
 	"iupdater_replica_applied_version",
 	"iupdater_replica_leader_version",
 	"iupdater_replica_lag_versions",
@@ -417,6 +421,20 @@ func TestServeMetricsExposition(t *testing.T) {
 	if _, ok := findSample(samples, "iupdater_store_bytes", nil); ok {
 		t.Errorf("in-memory fleet has store samples")
 	}
+	// Fleet lifecycle families: both sites resident, nothing parked and
+	// no LRU churn in this in-memory fleet.
+	if s, ok := findSample(samples, "iupdater_sites", map[string]string{"state": "resident"}); !ok || s.value != 2 {
+		t.Errorf("resident sites %v (found %v), want 2", s.value, ok)
+	}
+	if s, ok := findSample(samples, "iupdater_sites", map[string]string{"state": "parked"}); !ok || s.value != 0 {
+		t.Errorf("parked sites %v (found %v), want 0", s.value, ok)
+	}
+	if s, ok := findSample(samples, "iupdater_site_evictions_total", nil); !ok || s.value != 0 {
+		t.Errorf("evictions %v (found %v), want 0", s.value, ok)
+	}
+	if s, ok := findSample(samples, "iupdater_site_rehydration_seconds_count", nil); !ok || s.value != 0 {
+		t.Errorf("rehydration count %v (found %v), want 0", s.value, ok)
+	}
 }
 
 // TestServeMetricsUnderHammer scrapes /metrics in a loop while both
@@ -471,7 +489,7 @@ func TestServeMetricsUnderHammer(t *testing.T) {
 
 	deadline := time.Now().Add(20 * time.Second)
 	var scrapes int
-	for def.d.Version() != 4 && time.Now().Before(deadline) {
+	for def.deployment().Version() != 4 && time.Now().Before(deadline) {
 		lintExposition(t, scrapeMetrics(t, ts.URL))
 		scrapes++
 	}
@@ -481,7 +499,7 @@ func TestServeMetricsUnderHammer(t *testing.T) {
 	for err := range errc {
 		t.Error(err)
 	}
-	if v := def.d.Version(); v != 4 {
+	if v := def.deployment().Version(); v != 4 {
 		t.Fatalf("default version %d after hammer, want 4", v)
 	}
 	if scrapes == 0 {

@@ -85,7 +85,7 @@ func TestServeRecordsStream(t *testing.T) {
 	if v, _, err := replay.Apply(frames[0]); err != nil || v != 2 {
 		t.Fatalf("applying resumed frame: v%d %v", v, err)
 	}
-	snap := st.d.Snapshot()
+	snap := st.deployment().Snapshot()
 	if want := snap.Fingerprints(); !bytes.Equal(replay.Payload()[33:], encodeTail(want)) {
 		t.Fatal("replayed payload does not match the leader's snapshot")
 	}
@@ -101,7 +101,7 @@ func TestServeRecordsStream(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/update", updateRequest{Days: 31}, &up); code != http.StatusOK {
 		t.Fatalf("update: status %d", code)
 	}
-	if err := st.d.Store().Compact(); err != nil {
+	if err := st.deployment().Store().Compact(); err != nil {
 		t.Fatal(err)
 	}
 	_, oldest, status := readFrames(t, ts.URL+"/records?from=1")

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -27,17 +29,28 @@ import (
 	"iupdater/internal/trace"
 )
 
-// site is one served deployment: the Deployment itself plus the testbed
-// standing in for that site's radio hardware and the simulated clock its
-// measurements are taken at. A replica site (rep != nil) has neither a
-// deployment nor a testbed: it serves read-only localization from the
-// snapshots its follower tails off a leader.
+// site is one served deployment: the testbed standing in for that
+// site's radio hardware, the simulated clock its measurements are taken
+// at, and the fleet Site handle the deployment and monitor live behind
+// (so the fleet's snapshot LRU can park and rehydrate them without the
+// serve layer holding stale pointers). A replica site (rep != nil) has
+// neither a deployment nor a testbed: it serves read-only localization
+// from the snapshots its follower tails off a leader.
 type site struct {
 	name string
-	d    *iupdater.Deployment
 	tb   *iupdater.Testbed
-	mon  *iupdater.Monitor
 	rep  *iupdater.Replica
+	// token, when non-empty, must be presented as a bearer token on the
+	// site's mutating routes (update, rollback, delete).
+	token string
+
+	// d and mon hold the deployment and monitor only between newSite and
+	// addSite; registration hands them to the fleet and nils them. fs is
+	// the fleet handle handlers resolve them through afterwards.
+	d          *iupdater.Deployment
+	mon        *iupdater.Monitor
+	monFactory func(*iupdater.Deployment) (*iupdater.Monitor, error)
+	fs         *iupdater.Site
 
 	// mu guards clock — the simulated elapsed deployment time advanced
 	// by testbed-driven updates — and serializes all testbed
@@ -56,26 +69,64 @@ func newReplicaSite(name string, rep *iupdater.Replica) *site {
 	return &site{name: name, rep: rep}
 }
 
-// snap returns the site's serving snapshot: the deployment's latest
-// for a writer site, the last applied one for a replica — nil while a
-// replica has not synced from its leader yet.
+// deployment peeks at the site's deployment without rehydrating a
+// parked site: nil for replicas, parked sites, and anything in
+// between. Handlers that must serve use writer instead.
+func (st *site) deployment() *iupdater.Deployment {
+	if st.fs != nil {
+		return st.fs.Deployment()
+	}
+	return st.d
+}
+
+// monitor peeks at the site's monitor without rehydrating.
+func (st *site) monitor() *iupdater.Monitor {
+	if st.fs != nil {
+		return st.fs.Monitor()
+	}
+	return st.mon
+}
+
+// writer resolves the site's deployment and monitor through the fleet,
+// re-materializing a parked site from its store — a cold site's first
+// request pays the rehydration here. On failure (the site was removed
+// mid-request) it writes the 404 and reports false.
+func (st *site) writer(w http.ResponseWriter) (*iupdater.Deployment, *iupdater.Monitor, bool) {
+	d, mon, err := st.fs.Hydrate()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, nil, false
+	}
+	return d, mon, true
+}
+
+// snap returns the site's serving snapshot without rehydrating: the
+// deployment's latest for a hydrated writer, the last applied one for
+// a replica — nil for an unsynced replica or a parked site.
 func (st *site) snap() *iupdater.Snapshot {
 	if st.rep != nil {
 		return st.rep.Snapshot()
 	}
-	return st.d.Snapshot()
+	if d := st.deployment(); d != nil {
+		return d.Snapshot()
+	}
+	return nil
 }
 
 // latency returns the site's locate-latency histogram — the
 // deployment's for a writer, the replica's for a follower. The serve
 // handlers observe into it directly because they localize against a
 // pinned snapshot (for version consistency), bypassing the instrumented
-// Deployment.Locate wrappers.
+// Deployment.Locate wrappers. Nil while a writer site is parked (its
+// histogram is released with the deployment).
 func (st *site) latency() *obs.Histogram {
 	if st.rep != nil {
 		return st.rep.LocateLatency()
 	}
-	return st.d.LocateLatency()
+	if d := st.deployment(); d != nil {
+		return d.LocateLatency()
+	}
+	return nil
 }
 
 // readOnly writes the 409 telling callers of mutating routes that this
@@ -89,11 +140,30 @@ func (st *site) readOnly(w http.ResponseWriter) bool {
 	return true
 }
 
+// authorize enforces the site's bearer token on mutating routes,
+// reporting whether the request may proceed. Sites created without a
+// token (the -sites flag path) stay open, preserving the demo surface.
+func (st *site) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if st.token == "" {
+		return true
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(st.token)) != 1 {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized,
+			fmt.Errorf("site %s requires its bearer token on mutating routes", st.name))
+		return false
+	}
+	return true
+}
+
 // enableMonitor attaches a drift monitor whose reference surveys are
-// taken from the site's testbed at the site's simulated clock. Call
-// before registering the site with a server.
+// taken from the site's testbed at the site's simulated clock, and
+// records the factory the fleet uses to rebuild the monitor when a
+// parked site rehydrates. Call before registering the site with a
+// server.
 func (st *site) enableMonitor(opts ...iupdater.MonitorOption) error {
-	mon, err := iupdater.NewMonitor(st.d, iupdater.SamplerFunc(func(refs []int) (iupdater.UpdateInputs, error) {
+	sampler := iupdater.SamplerFunc(func(refs []int) (iupdater.UpdateInputs, error) {
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		xr, _ := st.tb.ReferenceMatrix(st.clock, refs)
@@ -102,21 +172,17 @@ func (st *site) enableMonitor(opts ...iupdater.MonitorOption) error {
 			Known:      st.tb.Mask(),
 			References: xr,
 		}, nil
-	}), opts...)
+	})
+	st.monFactory = func(d *iupdater.Deployment) (*iupdater.Monitor, error) {
+		return iupdater.NewMonitor(d, sampler, opts...)
+	}
+	mon, err := st.monFactory(st.d)
 	if err != nil {
+		st.monFactory = nil
 		return err
 	}
 	st.mon = mon
 	return nil
-}
-
-// observe feeds one served measurement to the site's monitor, if
-// attached. Malformed vectors are simply not observed — the locate
-// handler reports the error to the client.
-func (st *site) observe(rss []float64) {
-	if st.mon != nil {
-		_ = st.mon.Observe(rss)
-	}
 }
 
 // server exposes a Fleet of site deployments over HTTP/JSON.
@@ -127,10 +193,28 @@ func (st *site) observe(rss []float64) {
 // for the default site (the first one registered).
 type server struct {
 	fleet   *iupdater.Fleet
-	sites   map[string]*site
-	def     *site
 	workers int
 	pprof   bool
+
+	// mu guards sites and def: the site table is mutated at runtime by
+	// PUT/DELETE /sites/{site} while every other route reads it.
+	mu    sync.RWMutex
+	sites map[string]*site
+	def   *site
+
+	// Defaults applied to sites created over the API (PUT /sites/{site}),
+	// mirroring the serve flags the boot-time sites were built with.
+	dataDir    string
+	retain     int
+	updateConc int
+	monitorOn  bool
+	defEnv     string
+
+	// manifest, when non-nil, durably records the API-created sites so a
+	// restart of serve mode re-creates them (see fleet.manifest under
+	// -data-dir). manifestMu serializes read-modify-write of the blob.
+	manifest   *iupdater.Store
+	manifestMu sync.Mutex
 
 	// tracer records request-scoped span traces across every route (see
 	// traces.go); the same tracer is attached to the site deployments in
@@ -161,15 +245,33 @@ func newServer(workers int) *server {
 }
 
 // addSite registers a fully wired site (monitor already attached if
-// wanted). The first site added becomes the default for the alias
-// routes. Not safe to call once the handler is serving.
+// wanted), handing its deployment and monitor to the fleet — which owns
+// their lifecycle from here on, including LRU parking. The first site
+// added becomes the default for the alias routes. Safe to call while
+// the handler is serving.
 func (s *server) addSite(st *site) error {
+	var fs *iupdater.Site
+	var err error
 	if st.rep != nil {
-		if _, err := s.fleet.AddReplica(st.name, st.rep); err != nil {
-			return err
-		}
-	} else if _, err := s.fleet.Add(st.name, st.d, st.mon); err != nil {
+		fs, err = s.fleet.AddReplica(st.name, st.rep)
+	} else {
+		fs, err = s.fleet.AddSite(st.name, iupdater.SiteConfig{
+			Deployment:     st.d,
+			Monitor:        st.mon,
+			MonitorFactory: st.monFactory,
+		})
+	}
+	if err != nil {
 		return err
+	}
+	st.fs = fs
+	st.d, st.mon = nil, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sites[st.name]; dup {
+		// The fleet would have rejected the duplicate first; belt and
+		// braces for a racing registration.
+		return fmt.Errorf("site %q already registered", st.name)
 	}
 	s.sites[st.name] = st
 	if s.def == nil {
@@ -178,16 +280,41 @@ func (s *server) addSite(st *site) error {
 	return nil
 }
 
+// removeSite drops the site from the routing table (the fleet-side
+// teardown is the caller's job). The default-site alias dies with the
+// default site.
+func (s *server) removeSite(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sites, name)
+	if s.def != nil && s.def.name == name {
+		s.def = nil
+	}
+}
+
+// site looks up a site by name under the read lock.
+func (s *server) site(name string) *site {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sites[name]
+}
+
 // siteFor resolves the request's site: the {site} path value when
 // present, the default site on the alias routes. On an unknown name it
 // writes the 404 and returns nil.
 func (s *server) siteFor(w http.ResponseWriter, r *http.Request) *site {
 	name := r.PathValue("site")
 	if name == "" {
-		return s.def
+		s.mu.RLock()
+		def := s.def
+		s.mu.RUnlock()
+		if def == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no default site (it was removed; address sites by name)"))
+		}
+		return def
 	}
-	st, ok := s.sites[name]
-	if !ok {
+	st := s.site(name)
+	if st == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown site %q (GET /sites lists them)", name))
 		return nil
 	}
@@ -196,13 +323,24 @@ func (s *server) siteFor(w http.ResponseWriter, r *http.Request) *site {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	// Each route is registered twice: once with its method, and once
+	// Each pattern is registered once per supported method, plus once
 	// methodless so a wrong-method hit gets an explicit 405 with an
-	// Allow header (and the API's JSON error shape) instead of the
-	// mux's implicit handling.
+	// Allow header listing every supported method (and the API's JSON
+	// error shape) instead of the mux's implicit handling.
+	type methodHandler struct {
+		method string
+		h      http.HandlerFunc
+	}
+	routes := func(pattern string, hs ...methodHandler) {
+		allow := make([]string, len(hs))
+		for i, mh := range hs {
+			allow[i] = mh.method
+			mux.HandleFunc(mh.method+" "+pattern, s.instrument(mh.method, pattern, mh.h))
+		}
+		mux.HandleFunc(pattern, methodNotAllowed(strings.Join(allow, ", ")))
+	}
 	route := func(method, pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" "+pattern, s.instrument(method, pattern, h))
-		mux.HandleFunc(pattern, methodNotAllowed(method))
+		routes(pattern, methodHandler{method, h})
 	}
 	route("POST", "/locate", s.handleLocate)
 	route("POST", "/update", s.handleUpdate)
@@ -214,7 +352,10 @@ func (s *server) handler() http.Handler {
 	route("GET", "/metrics", s.handleMetrics)
 	route("GET", "/traces", s.handleTraces)
 	route("GET", "/traces/{id}", s.handleTrace)
-	route("GET", "/sites/{site}", s.handleSite)
+	routes("/sites/{site}",
+		methodHandler{"GET", s.handleSite},
+		methodHandler{"PUT", s.handleSitePut},
+		methodHandler{"DELETE", s.handleSiteDelete})
 	route("POST", "/sites/{site}/locate", s.handleLocate)
 	route("POST", "/sites/{site}/update", s.handleUpdate)
 	route("GET", "/sites/{site}/snapshot", s.handleSnapshot)
@@ -222,12 +363,20 @@ func (s *server) handler() http.Handler {
 	route("POST", "/sites/{site}/rollback", s.handleRollback)
 	route("GET", "/sites/{site}/records", s.handleRecords)
 	route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// A replica default site reports 0 until it has synced.
+		// A replica default site reports 0 until it has synced; so does a
+		// parked or removed default site (health stays cheap: no
+		// rehydration on the probe path).
 		var version uint64
-		if snap := s.def.snap(); snap != nil {
-			version = snap.Version()
+		s.mu.RLock()
+		def := s.def
+		n := len(s.sites)
+		s.mu.RUnlock()
+		if def != nil {
+			if snap := def.snap(); snap != nil {
+				version = snap.Version()
+			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": version, "sites": len(s.sites)})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": version, "sites": n})
 	})
 	if s.pprof {
 		// Profiling of the live update/locate hot paths, opt-in via
@@ -289,12 +438,32 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Pin one snapshot so the reported version matches the database every
-	// estimate in the response was computed against.
-	snap := st.snap()
-	if snap == nil {
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("replica %s has not synced from its leader yet", st.name))
-		return
+	// estimate in the response was computed against. A writer site
+	// resolves through the fleet — a parked site's first locate pays its
+	// rehydration here — while a replica serves its last applied
+	// snapshot.
+	var snap *iupdater.Snapshot
+	var lat *obs.Histogram
+	var mon *iupdater.Monitor
+	if st.rep != nil {
+		snap = st.rep.Snapshot()
+		lat = st.rep.LocateLatency()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("replica %s has not synced from its leader yet", st.name))
+			return
+		}
+	} else {
+		d, m, ok := st.writer(w)
+		if !ok {
+			return
+		}
+		snap, lat, mon = d.Snapshot(), d.LocateLatency(), m
+	}
+	observe := func(rss []float64) {
+		if mon != nil {
+			_ = mon.Observe(rss)
+		}
 	}
 	tr := trace.FromContext(r.Context())
 	tr.Root().SetInt("version", int64(snap.Version()))
@@ -316,12 +485,12 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			p, err = snap.Locate(req.RSS)
 		}
-		st.latency().Observe(time.Since(start).Seconds())
+		lat.Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		st.observe(req.RSS)
+		observe(req.RSS)
 		resp.Position = &positionJSON{X: p.X, Y: p.Y}
 	} else {
 		start := time.Now()
@@ -330,13 +499,13 @@ func (s *server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		sp.SetInt("workers", int64(s.workers))
 		ps, err := snap.LocateBatch(r.Context(), req.Batch, s.workers)
 		sp.End()
-		st.latency().Observe(time.Since(start).Seconds())
+		lat.Observe(time.Since(start).Seconds())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		for _, rss := range req.Batch {
-			st.observe(rss)
+			observe(rss)
 		}
 		resp.Positions = make([]positionJSON, len(ps))
 		for i, p := range ps {
@@ -365,7 +534,11 @@ type updateResponse struct {
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	st := s.siteFor(w, r)
-	if st == nil || st.readOnly(w) {
+	if st == nil || st.readOnly(w) || !st.authorize(w, r) {
+		return
+	}
+	d, _, ok := st.writer(w)
+	if !ok {
 		return
 	}
 	var req updateRequest
@@ -373,7 +546,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	refs, err := st.d.ReferenceLocations()
+	refs, err := d.ReferenceLocations()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -418,11 +591,11 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		st.mu.Unlock()
 		el := time.Since(t0)
 		sp.EndDur(el)
-		if h := st.d.UpdateStageLatency(iupdater.StageSample); h != nil {
+		if h := d.UpdateStageLatency(iupdater.StageSample); h != nil {
 			h.Observe(el.Seconds())
 		}
 	}
-	snap, err := st.d.UpdateTraced(tr, noDec, known, xr)
+	snap, err := d.UpdateTraced(tr, noDec, known, xr)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -462,11 +635,21 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	snap := st.snap()
-	if snap == nil {
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("replica %s has not synced from its leader yet", st.name))
-		return
+	var snap *iupdater.Snapshot
+	var d *iupdater.Deployment
+	if st.rep != nil {
+		snap = st.rep.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("replica %s has not synced from its leader yet", st.name))
+			return
+		}
+	} else {
+		var ok bool
+		if d, _, ok = st.writer(w); !ok {
+			return
+		}
+		snap = d.Snapshot()
 	}
 	fp := snap.Fingerprints()
 	resp := snapshotResponse{
@@ -479,7 +662,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if store := st.d.Store(); store != nil {
+	if store := d.Store(); store != nil {
 		for _, rec := range store.Records() {
 			if rec.Version == snap.Version() {
 				resp.Record = &recordJSON{Version: rec.Version, Kind: rec.Kind, Bytes: rec.Bytes}
@@ -544,11 +727,19 @@ func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	if st.mon == nil {
+	if st.rep != nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("drift monitor disabled (start with -monitor)"))
 		return
 	}
-	writeJSON(w, http.StatusOK, driftJSON(st.mon.Stats()))
+	_, mon, ok := st.writer(w)
+	if !ok {
+		return
+	}
+	if mon == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("drift monitor disabled (start with -monitor)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, driftJSON(mon.Stats()))
 }
 
 type rollbackResponse struct {
@@ -561,7 +752,7 @@ type rollbackResponse struct {
 
 func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	st := s.siteFor(w, r)
-	if st == nil || st.readOnly(w) {
+	if st == nil || st.readOnly(w) || !st.authorize(w, r) {
 		return
 	}
 	vstr := r.URL.Query().Get("version")
@@ -574,7 +765,11 @@ func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("version %q: %w", vstr, err))
 		return
 	}
-	snap, err := st.d.Rollback(version)
+	d, _, ok := st.writer(w)
+	if !ok {
+		return
+	}
+	snap, err := d.Rollback(version)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -596,7 +791,11 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("site %s is a replica; fetch records from its leader %s", st.name, st.rep.Source()))
 		return
 	}
-	if st.d.Store() == nil {
+	d, _, ok := st.writer(w)
+	if !ok {
+		return
+	}
+	if d.Store() == nil {
 		writeError(w, http.StatusNotImplemented,
 			fmt.Errorf("site %s has no durable store to replicate from (start with -data-dir)", st.name))
 		return
@@ -608,16 +807,23 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(s.drain, cancel)
 	defer stop()
-	st.d.ServeRecords().ServeHTTP(w, r.WithContext(ctx))
+	d.ServeRecords().ServeHTTP(w, r.WithContext(ctx))
 }
 
 // siteSummaryJSON mirrors iupdater.SiteSummary over the wire.
 type siteSummaryJSON struct {
-	Name           string             `json:"name"`
-	Version        uint64             `json:"version"`
-	Links          int                `json:"links"`
-	Cells          int                `json:"cells"`
-	Durable        bool               `json:"durable"`
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Links   int    `json:"links"`
+	Cells   int    `json:"cells"`
+	Durable bool   `json:"durable"`
+	// Hydrated reports whether the site's deployment is resident in
+	// memory; a parked site still serves, paying a rehydration from its
+	// store on the first query.
+	Hydrated bool `json:"hydrated"`
+	// OldestVersion is the store's compaction horizon (0 for in-memory
+	// sites): rollback and replication resume cannot reach below it.
+	OldestVersion  uint64             `json:"oldest_version,omitempty"`
 	StoredVersions []uint64           `json:"stored_versions,omitempty"`
 	StoredRecords  []recordJSON       `json:"stored_records,omitempty"`
 	Search         *searchSummaryJSON `json:"search,omitempty"`
@@ -654,6 +860,8 @@ func siteSummaryResponse(sum iupdater.SiteSummary) siteSummaryJSON {
 		Links:          sum.Links,
 		Cells:          sum.Cells,
 		Durable:        sum.Durable,
+		Hydrated:       sum.Hydrated,
+		OldestVersion:  sum.OldestVersion,
 		StoredVersions: sum.StoredVersions,
 	}
 	for _, rec := range sum.StoredRecords {
@@ -707,6 +915,212 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, siteSummaryResponse(fs.Summary()))
 }
 
+// sitePutRequest creates one site over the API. All fields are
+// optional: env defaults to the serve-time -env, seed to 1, token to
+// open access, monitor to the -monitor flag.
+type sitePutRequest struct {
+	Env string `json:"env,omitempty"`
+	// Seed seeds the site's simulated testbed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Token, when set, is required as "Authorization: Bearer <token>" on
+	// the site's mutating routes (update, rollback, delete).
+	Token   string `json:"token,omitempty"`
+	Monitor bool   `json:"monitor,omitempty"`
+}
+
+// handleSitePut creates a site at runtime: PUT /sites/{site}. The site
+// is surveyed (or warm-started from an existing store directory under
+// -data-dir), registered with the fleet — becoming subject to the
+// snapshot LRU like any boot-time site — and recorded in the fleet
+// manifest so a serve restart re-creates it.
+func (s *server) handleSitePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("site")
+	if err := checkSiteName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.site(name) != nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("site %q already exists (DELETE it first to replace it)", name))
+		return
+	}
+	var req sitePutRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Env == "" {
+		req.Env = s.defEnv
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	opts := []iupdater.Option{
+		iupdater.WithWorkers(s.workers), iupdater.WithUpdateConcurrency(s.updateConc),
+		iupdater.WithTracer(s.tracer, name),
+	}
+	st, warm, err := buildSite(siteSpec{name: name, env: req.Env}, req.Seed, s.dataDir, s.retain, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st.token = req.Token
+	if req.Monitor || s.monitorOn {
+		if err := st.enableMonitor(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if err := s.addSite(st); err != nil {
+		// Lost a race with a concurrent PUT for the same name.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.manifestAdd(manifestEntry{Name: name, Env: req.Env, Seed: req.Seed, Token: req.Token, Monitor: req.Monitor || s.monitorOn})
+	log.Printf("site %s: created via API (%s, seed %d, warm=%v)", name, req.Env, req.Seed, warm)
+	fs, _ := s.fleet.Site(name)
+	writeJSON(w, http.StatusCreated, siteSummaryResponse(fs.Summary()))
+}
+
+// handleSiteDelete removes a site at runtime: DELETE /sites/{site}.
+// The fleet tears it down — monitor stopped, store closed — and its
+// manifest entry is dropped; the store directory itself is kept, so a
+// later PUT of the same name warm-starts from it.
+func (s *server) handleSiteDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("site")
+	st := s.site(name)
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown site %q (GET /sites lists them)", name))
+		return
+	}
+	if st.readOnly(w) || !st.authorize(w, r) {
+		return
+	}
+	if err := s.fleet.RemoveSite(name); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.removeSite(name)
+	s.manifestRemove(name)
+	log.Printf("site %s: removed via API", name)
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// manifestEntry is one API-created site's durable config: everything a
+// serve restart needs to re-create the site exactly as PUT defined it.
+// Boot-time sites are not recorded — their config lives in the flags.
+type manifestEntry struct {
+	Name    string `json:"name"`
+	Env     string `json:"env"`
+	Seed    uint64 `json:"seed"`
+	Token   string `json:"token,omitempty"`
+	Monitor bool   `json:"monitor,omitempty"`
+}
+
+// manifestLoad reads the manifest blob; a missing or torn blob is an
+// empty manifest. Callers hold manifestMu.
+func (s *server) manifestLoad() []manifestEntry {
+	if s.manifest == nil {
+		return nil
+	}
+	blob, ok, err := s.manifest.LoadState("manifest")
+	if err != nil || !ok {
+		return nil
+	}
+	var entries []manifestEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		log.Printf("fleet manifest: ignoring corrupt blob: %v", err)
+		return nil
+	}
+	return entries
+}
+
+func (s *server) manifestSave(entries []manifestEntry) {
+	blob, err := json.Marshal(entries)
+	if err == nil {
+		err = s.manifest.SaveState("manifest", blob)
+	}
+	if err != nil {
+		// The site still runs; it just won't be re-created on restart.
+		log.Printf("fleet manifest: persisting: %v", err)
+	}
+}
+
+func (s *server) manifestAdd(e manifestEntry) {
+	if s.manifest == nil {
+		return
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	entries := s.manifestLoad()
+	for i := range entries {
+		if entries[i].Name == e.Name {
+			entries[i] = e
+			s.manifestSave(entries)
+			return
+		}
+	}
+	s.manifestSave(append(entries, e))
+}
+
+// restoreManifestSites re-creates the API-defined sites the fleet
+// manifest recorded in a previous serve life. Flag-defined sites win
+// name conflicts — the stale manifest entry is dropped so the flags
+// stay authoritative. A site that fails to build (say its environment
+// no longer exists) is logged and skipped with its entry kept, never
+// failing the boot.
+func (s *server) restoreManifestSites() error {
+	if s.manifest == nil {
+		return nil
+	}
+	s.manifestMu.Lock()
+	entries := s.manifestLoad()
+	s.manifestMu.Unlock()
+	for _, e := range entries {
+		if s.site(e.Name) != nil {
+			s.manifestRemove(e.Name)
+			continue
+		}
+		opts := []iupdater.Option{
+			iupdater.WithWorkers(s.workers), iupdater.WithUpdateConcurrency(s.updateConc),
+			iupdater.WithTracer(s.tracer, e.Name),
+		}
+		st, warm, err := buildSite(siteSpec{name: e.Name, env: e.Env}, e.Seed, s.dataDir, s.retain, opts)
+		if err != nil {
+			log.Printf("site %s: manifest restore failed (entry kept): %v", e.Name, err)
+			continue
+		}
+		st.token = e.Token
+		if e.Monitor {
+			if err := st.enableMonitor(); err != nil {
+				return err
+			}
+		}
+		if err := s.addSite(st); err != nil {
+			return err
+		}
+		log.Printf("site %s: restored from fleet manifest (%s, seed %d, warm=%v)", e.Name, e.Env, e.Seed, warm)
+	}
+	return nil
+}
+
+func (s *server) manifestRemove(name string) {
+	if s.manifest == nil {
+		return
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	entries := s.manifestLoad()
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.Name != name {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) != len(entries) {
+		s.manifestSave(kept)
+	}
+}
+
 // handleMetrics serves the fleet-wide Prometheus text exposition
 // (format 0.0.4). Every family is written once — HELP and TYPE ahead of
 // the samples — with one sample (or bucket series) per site, labeled
@@ -722,7 +1136,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	mw.Family("iupdater_locate_latency_seconds", "histogram", "End-to-end locate latency in seconds, snapshot load included.")
 	for _, sum := range sums {
-		mw.Histogram("iupdater_locate_latency_seconds", s.sites[sum.Name].latency().Snapshot(), site(sum.Name))
+		// A parked site's histogram is released with its deployment, and a
+		// site the fleet knows but the router no longer does (removal
+		// racing the scrape) simply has no sample — scrapes never
+		// rehydrate.
+		if st := s.site(sum.Name); st != nil {
+			if lat := st.latency(); lat != nil {
+				mw.Histogram("iupdater_locate_latency_seconds", lat.Snapshot(), site(sum.Name))
+			}
+		}
 	}
 
 	mw.Family("iupdater_snapshot_version", "gauge", "Serving fingerprint snapshot version (0 for an unsynced replica).")
@@ -736,12 +1158,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.Family("iupdater_update_duration_seconds", "histogram",
 		"Update pipeline stage latency in seconds, by stage (sample, reconstruct, persist, swap).")
 	for _, sum := range sums {
-		st := s.sites[sum.Name]
-		if st.rep != nil {
+		st := s.site(sum.Name)
+		if st == nil || st.rep != nil {
+			continue
+		}
+		d := st.deployment()
+		if d == nil {
 			continue
 		}
 		for _, stage := range iupdater.UpdateStages() {
-			if h := st.d.UpdateStageLatency(stage); h != nil {
+			if h := d.UpdateStageLatency(stage); h != nil {
 				mw.Histogram("iupdater_update_duration_seconds", h.Snapshot(),
 					site(sum.Name), obs.Label{Name: "stage", Value: stage})
 			}
@@ -749,11 +1175,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	mw.Family("iupdater_publish_total", "counter", "Snapshot publishes made visible to queries (updates, installs, rollbacks).")
 	for _, sum := range sums {
-		st := s.sites[sum.Name]
-		if st.rep != nil {
+		st := s.site(sum.Name)
+		if st == nil || st.rep != nil {
 			continue
 		}
-		mw.Sample("iupdater_publish_total", float64(st.d.Publishes()), site(sum.Name))
+		if d := st.deployment(); d != nil {
+			mw.Sample("iupdater_publish_total", float64(d.Publishes()), site(sum.Name))
+		}
 	}
 
 	// Candidate-search work, labeled with the serving snapshot's tier.
@@ -866,12 +1294,29 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	mw.Family("iupdater_store_compactions_total", "counter", "Log rewrites that dropped history (manual and retention-driven).")
 	for _, sum := range sums {
-		st := s.sites[sum.Name]
-		if st.rep != nil || st.d.Store() == nil {
+		st := s.site(sum.Name)
+		if st == nil || st.rep != nil {
 			continue
 		}
-		mw.Sample("iupdater_store_compactions_total", float64(st.d.Store().Compactions()), site(sum.Name))
+		d := st.deployment()
+		if d == nil || d.Store() == nil {
+			continue
+		}
+		mw.Sample("iupdater_store_compactions_total", float64(d.Store().Compactions()), site(sum.Name))
 	}
+
+	// Fleet lifecycle: registrations versus what the snapshot LRU keeps
+	// resident, and the cost of bringing parked sites back.
+	fstats := s.fleet.Stats()
+	mw.Family("iupdater_sites", "gauge", "Registered sites by residency state (resident in memory vs parked on store).")
+	mw.Sample("iupdater_sites", float64(fstats.Resident), obs.Label{Name: "state", Value: "resident"})
+	mw.Sample("iupdater_sites", float64(fstats.Sites-fstats.Resident), obs.Label{Name: "state", Value: "parked"})
+	mw.Family("iupdater_site_evictions_total", "counter", "Sites parked by the resident-limit LRU (deployment released, store retained).")
+	mw.Sample("iupdater_site_evictions_total", float64(fstats.Evictions))
+	mw.Family("iupdater_site_rehydrations_total", "counter", "Parked sites re-materialized from their stores on demand.")
+	mw.Sample("iupdater_site_rehydrations_total", float64(fstats.Rehydrations))
+	mw.Family("iupdater_site_rehydration_seconds", "histogram", "Latency of re-materializing a parked site from its store, in seconds.")
+	mw.Histogram("iupdater_site_rehydration_seconds", s.fleet.RehydrationLatency().Snapshot())
 
 	replicaGauges := []struct {
 		name, help string
@@ -1117,6 +1562,7 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable snapshot root (one store directory per site); empty = in-memory")
 	retain := fs.Int("retain", 0, "snapshot versions retained per site store (0 = all)")
 	sitesFlag := fs.String("sites", "", "comma-separated name=env site list (default: one site 'default' on -env)")
+	resident := fs.Int("resident", 0, "max sites kept materialized in memory; excess durable sites are parked on their stores and rehydrate on demand (0 = all resident)")
 	followFlag := fs.String("follow", "", "comma-separated name=url read-only replica sites tailing a leader's records endpoint")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	accessLog := fs.Bool("access-log", false, "log one structured line per request (method, route, site, status, duration, trace ID)")
@@ -1138,10 +1584,29 @@ func runServe(args []string) error {
 	}
 
 	s := newServer(*workers)
+	if *resident > 0 {
+		s.fleet = iupdater.NewFleet(iupdater.WithResidentLimit(*resident))
+	}
 	s.pprof = *pprofOn
 	s.tracer = newServeTracer(*traceHead)
+	s.dataDir = *dataDir
+	s.retain = *retain
+	s.updateConc = *updateConc
+	s.monitorOn = *monitorOn
+	s.defEnv = *envName
 	if *accessLog {
 		s.access = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	if *dataDir != "" {
+		// The fleet manifest store durably records API-created sites.
+		// "fleet.manifest" cannot collide with a site's store directory:
+		// site names reject dots.
+		m, err := iupdater.OpenStore(filepath.Join(*dataDir, "fleet.manifest"))
+		if err != nil {
+			return fmt.Errorf("fleet manifest: %w", err)
+		}
+		s.manifest = m
+		defer m.Close()
 	}
 	var cancels []func()
 	defer func() {
@@ -1195,6 +1660,9 @@ func runServe(args []string) error {
 			return err
 		}
 		log.Printf("site %s: following %s (replica lag under GET /sites)", spec.name, spec.url)
+	}
+	if err := s.restoreManifestSites(); err != nil {
+		return err
 	}
 	if *monitorOn {
 		log.Printf("drift monitors enabled (GET /drift, GET /sites)")

@@ -185,7 +185,11 @@ func TestServeMethodNotAllowed(t *testing.T) {
 		{http.MethodPut, "/drift", "GET"},
 		{http.MethodGet, "/rollback", "POST"},
 		{http.MethodPost, "/sites", "GET"},
-		{http.MethodPost, "/sites/default", "GET"},
+		// The site lifecycle routes share one pattern; a wrong-method hit
+		// must advertise every supported method.
+		{http.MethodPost, "/sites/default", "GET, PUT, DELETE"},
+		{http.MethodPatch, "/sites/default", "GET, PUT, DELETE"},
+		{http.MethodPost, "/sites/nosuch", "GET, PUT, DELETE"},
 		{http.MethodGet, "/sites/default/locate", "POST"},
 		{http.MethodDelete, "/sites/default/update", "POST"},
 		{http.MethodPost, "/sites/default/snapshot", "GET"},
@@ -423,7 +427,7 @@ func TestServeDriftEndpointAndMonitorFeed(t *testing.T) {
 	if err := st2.enableMonitor(); err != nil {
 		t.Fatal(err)
 	}
-	defer st2.mon.Close()
+	defer st2.monitor().Close()
 	sOn := newServer(0)
 	if err := sOn.addSite(st2); err != nil {
 		t.Fatal(err)
@@ -476,7 +480,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	cleaned := make(chan struct{})
 	go func() {
 		done <- serveUntil(ctx, srv, ln, 5*time.Second, func() {
-			st.mon.Close()
+			st.monitor().Close()
 			close(cleaned)
 		})
 	}()
@@ -504,7 +508,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("cleanup did not run before serveUntil returned")
 	}
 	// The monitor is stopped: further observations must be rejected.
-	if err := st.mon.Observe(rss); err == nil {
+	if err := st.monitor().Observe(rss); err == nil {
 		t.Error("monitor still accepting observations after shutdown")
 	}
 	// And the listener is really closed.

@@ -533,16 +533,25 @@ func newDeploymentAt(fingerprints Matrix, g Geometry, version uint64, opts ...Op
 // applied as in NewDeployment (a WithStore option is unnecessary and
 // ignored in favor of st).
 func OpenDeployment(st *Store, opts ...Option) (*Deployment, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return openDeploymentCfg(st, cfg)
+}
+
+// openDeploymentCfg is OpenDeployment with the option set already
+// resolved into a config value. The fleet's snapshot LRU rehydrates
+// parked sites through it with the exact config their deployment was
+// built with, so a re-materialized site serves under identical search
+// tiers, workers and tracer wiring.
+func openDeploymentCfg(st *Store, cfg config) (*Deployment, error) {
 	if st == nil {
 		return nil, fmt.Errorf("iupdater: OpenDeployment: nil store")
 	}
 	version, fp, g, err := st.latestSnapshot()
 	if err != nil {
 		return nil, err
-	}
-	var cfg config
-	for _, opt := range opts {
-		opt(&cfg)
 	}
 	cfg.store = st
 	if g.Links <= 0 || g.PerStrip <= 0 || g.WidthM <= 0 || g.HeightM <= 0 {

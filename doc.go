@@ -152,29 +152,77 @@
 // records are removed by compaction and leave the rollback window);
 // the default keeps everything.
 //
+// Where those bytes land is a pluggable seam: a Store writes through
+// the Backend interface (OpenStore's WithBackend option), whose
+// contract is exactly the durability story above — append-only files
+// with explicit sync points, atomic temp+sync+rename replace, and
+// stable listing. The default backend is the site directory with the
+// on-disk format unchanged; NewMemoryBackend keeps the same record log
+// and crash-recovery semantics in RAM (sync points are no-ops), which
+// is what makes hundred-site fleets cheap in tests and gives ephemeral
+// sites full store behavior without touching disk. Backends outside
+// the process (object stores) slot into the same seam.
+//
 // The Fleet type scales this from one site to many: a registry of named
 // site deployments (each with its own store directory, monitor and
 // version line), with one Close for the whole lifecycle and Summaries
-// as the aggregated dashboard. cmd/iupdater serve exposes it over HTTP:
+// as the aggregated dashboard. The registry is dynamic — AddSite and
+// RemoveSite are safe while queries are in flight, so sites come and
+// go without a restart.
 //
-//	GET  /sites                        fleet dashboard (version, search tier, drift per site)
-//	GET  /sites/{name}                 one site's summary incl. retained versions
-//	POST /sites/{name}/locate          localization (single or batch)
-//	POST /sites/{name}/update          database refresh (raw or testbed-driven)
-//	GET  /sites/{name}/snapshot        the serving fingerprint database
-//	GET  /sites/{name}/drift           monitor counters (404 without -monitor)
-//	POST /sites/{name}/rollback?version=N  republish a retained version
-//	GET  /sites/{name}/records         record-log stream for follower replicas
-//	GET  /metrics                      fleet-wide Prometheus text exposition
-//	GET  /traces                       recent + slow retained traces (see Tracing)
-//	GET  /traces/{id}                  one trace's full span tree
-//	GET  /healthz                      liveness (serving version + site count)
+// Thousands of registered sites do not mean thousands of resident
+// snapshot matrices: WithResidentLimit(n) caps how many sites keep a
+// materialized Deployment (snapshot, locate index, monitor) in memory.
+// Past the cap the least-recently-queried durable site is parked —
+// its in-RAM state is released, its store stays open — and the next
+// query re-materializes it from the record log via the usual
+// delta-chain resolution, bit-identical at the same version (the
+// park-to-serve latency is exported as a histogram, see
+// Observability). Site.Hydrate is the query-path accessor: on a
+// resident site it is one atomic load plus an LRU touch —
+// lock-free, allocation-free — and only a parked site pays the
+// rehydration. Sites that cannot be restored are never parked:
+// in-memory sites (no store) and monitored sites registered without a
+// MonitorFactory stay resident regardless of pressure. Summaries
+// reports parked sites from their store (version, retained records)
+// without rehydrating them — a dashboard scrape never defeats the LRU.
+//
+// cmd/iupdater serve exposes the fleet over HTTP:
+//
+//	GET    /sites                        fleet dashboard (version, search tier, drift, hydration per site)
+//	GET    /sites/{name}                 one site's summary incl. retained versions
+//	PUT    /sites/{name}                 create a site at runtime (JSON: env, seed, token, monitor)
+//	DELETE /sites/{name}                 remove a site from the fleet
+//	POST   /sites/{name}/locate          localization (single or batch)
+//	POST   /sites/{name}/update          database refresh (raw or testbed-driven)
+//	GET    /sites/{name}/snapshot        the serving fingerprint database
+//	GET    /sites/{name}/drift           monitor counters (404 without -monitor)
+//	POST   /sites/{name}/rollback?version=N  republish a retained version
+//	GET    /sites/{name}/records         record-log stream for follower replicas
+//	GET    /metrics                      fleet-wide Prometheus text exposition
+//	GET    /traces                       recent + slow retained traces (see Tracing)
+//	GET    /traces/{id}                  one trace's full span tree
+//	GET    /healthz                      liveness (serving version + site count)
+//
+// A site created with a token requires it — as an Authorization:
+// Bearer header, compared in constant time — on every mutating route
+// (update, rollback, DELETE); reads stay open, and a missing or wrong
+// token answers 401 with WWW-Authenticate: Bearer. Lifecycle mutations
+// on a replica site answer 409 (a follower is torn down by stopping
+// the follow, not through the leader-facing API). Under -data-dir,
+// API-created sites are recorded in a fleet manifest — an ordinary
+// store at <data-dir>/fleet.manifest, written through the same
+// atomic-replace path as any auxiliary state — and the next serve life
+// re-creates them warm, tokens included; flag-declared sites win name
+// conflicts, and a manifest entry whose store fails to open is logged
+// and kept rather than failing boot.
 //
 // The original single-site routes (/locate, /update, /snapshot, /drift,
 // /rollback, /records) remain as aliases for the default site; every
 // route answers wrong-method hits with 405 and an Allow header. Sites
 // are declared with -sites name=env,...; -data-dir roots the per-site
-// stores and makes restarts warm; -retain bounds each store.
+// stores and makes restarts warm; -retain bounds each store; -resident
+// caps how many sites stay materialized (0 = all resident).
 //
 // # Replication — the record log as a wire protocol
 //
@@ -242,6 +290,10 @@
 //	iupdater_store_bytes                   gauge     {site}       retained record bytes on disk
 //	iupdater_store_records                 gauge     {site,kind}  retained records by kind (full/delta)
 //	iupdater_store_compactions_total       counter   {site}       history-dropping log rewrites
+//	iupdater_sites                         gauge     {state}      registered sites by residency (resident/parked)
+//	iupdater_site_evictions_total          counter   {}           sites parked by the resident limit
+//	iupdater_site_rehydrations_total       counter   {}           parked sites re-materialized by a query
+//	iupdater_site_rehydration_seconds      histogram {}           park-to-serve latency of those queries
 //	iupdater_replica_applied_version       gauge     {site}       newest version the follower applied
 //	iupdater_replica_leader_version        gauge     {site}       newest version the leader advertised
 //	iupdater_replica_lag_versions          gauge     {site}       replication lag in versions

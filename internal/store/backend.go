@@ -1,0 +1,334 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is one open log or state file inside a Backend's namespace. The
+// store only ever does positioned reads and writes plus the durability
+// calls, so the surface is deliberately small; a File must allow
+// concurrent ReadAt calls (the store serves readers under a shared
+// lock).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate cuts (or zero-extends) the file to exactly size bytes.
+	Truncate(size int64) error
+	// Size reports the current length in bytes.
+	Size() (int64, error)
+	// Sync makes every completed write durable before returning. The
+	// fsync-before-swap contract hangs off this call: a record is Synced
+	// before the in-RAM snapshot that references it becomes visible.
+	Sync() error
+	Close() error
+}
+
+// Backend is the storage namespace a Store lives in: a flat set of named
+// files (the record log, its compaction temp file, and <name>.state
+// blobs). The directory backend is the durable default; NewMemory backs
+// the same contract with RAM for tests and ephemeral sites.
+//
+// A Backend must guarantee, for the store's durability story to hold:
+//
+//   - Open is open-or-create; Create is create-or-truncate.
+//   - Rename atomically replaces newname with oldname's content. Open
+//     Files keep addressing the content they were opened on, exactly as
+//     an inode survives a rename over its directory entry — compaction
+//     renames the temp log over the live one while the old handle still
+//     has readers.
+//   - ReadFile on a missing name returns an error satisfying
+//     errors.Is(err, fs.ErrNotExist).
+//   - Sync makes the namespace itself durable (the directory fsync that
+//     persists creations and renames). After File.Sync + Rename +
+//     Backend.Sync, the rename survives a crash.
+type Backend interface {
+	Open(name string) (File, error)
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// List returns the names in the namespace, sorted.
+	List() ([]string, error)
+	Sync() error
+	// Root names the namespace for diagnostics: the directory path, or a
+	// placeholder for non-directory backends.
+	Root() string
+}
+
+// dirBackend is the durable default: a local directory of *os.File
+// handles, with fsync for file durability and a directory fsync for
+// namespace durability.
+type dirBackend struct{ dir string }
+
+// NewDir returns the directory Backend rooted at dir. The directory must
+// already exist (Open creates it before building the backend).
+func NewDir(dir string) Backend { return dirBackend{dir: dir} }
+
+type dirFile struct{ *os.File }
+
+func (f dirFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (b dirBackend) Open(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return dirFile{f}, nil
+}
+
+func (b dirBackend) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return dirFile{f}, nil
+}
+
+func (b dirBackend) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, name))
+}
+
+func (b dirBackend) Rename(oldname, newname string) error {
+	return os.Rename(filepath.Join(b.dir, oldname), filepath.Join(b.dir, newname))
+}
+
+func (b dirBackend) Remove(name string) error {
+	return os.Remove(filepath.Join(b.dir, name))
+}
+
+func (b dirBackend) List() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (b dirBackend) Sync() error {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", b.dir, err)
+	}
+	return nil
+}
+
+func (b dirBackend) Root() string { return b.dir }
+
+// memBackend keeps the namespace in RAM. It honors the full Backend
+// contract — including inode-style rename semantics, where open handles
+// keep addressing the content object they were opened on — so the store
+// runs byte-identically over it. The backend outlives any one Store:
+// reopening a store over the same memBackend is the in-memory analogue
+// of a process restart over the same directory.
+type memBackend struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+// NewMemory returns an empty in-memory Backend. Durability calls are
+// accepted and do nothing; the content lives exactly as long as the
+// Backend value.
+func NewMemory() Backend {
+	return &memBackend{files: make(map[string]*memData)}
+}
+
+// memData is the "inode": the content object handles address, shared by
+// every open memFile for it and by the name table until a Rename or
+// Create detaches it.
+type memData struct {
+	mu sync.RWMutex
+	b  []byte
+}
+
+type memFile struct {
+	d *memData
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (b *memBackend) Open(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d, ok := b.files[name]
+	if !ok {
+		d = &memData{}
+		b.files[name] = d
+	}
+	return &memFile{d: d}, nil
+}
+
+func (b *memBackend) Create(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d, ok := b.files[name]
+	if !ok {
+		d = &memData{}
+		b.files[name] = d
+	} else {
+		// O_TRUNC semantics: the existing inode shrinks in place.
+		d.mu.Lock()
+		d.b = d.b[:0]
+		d.mu.Unlock()
+	}
+	return &memFile{d: d}, nil
+}
+
+func (b *memBackend) ReadFile(name string) ([]byte, error) {
+	b.mu.Lock()
+	d, ok := b.files[name]
+	b.mu.Unlock()
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]byte(nil), d.b...), nil
+}
+
+func (b *memBackend) Rename(oldname, newname string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d, ok := b.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	// The replaced inode (if any) stays readable through handles already
+	// open on it, as on a real filesystem.
+	b.files[newname] = d
+	delete(b.files, oldname)
+	return nil
+}
+
+func (b *memBackend) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(b.files, name)
+	return nil
+}
+
+func (b *memBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.files))
+	for name := range b.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (b *memBackend) Sync() error { return nil }
+
+func (b *memBackend) Root() string { return "(memory)" }
+
+func (f *memFile) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative read offset %d", off)
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	if off >= int64(len(f.d.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative write offset %d", off)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(f.d.b)) {
+		grown := make([]byte, end)
+		copy(grown, f.d.b)
+		f.d.b = grown
+	}
+	copy(f.d.b[off:], p)
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("store: negative truncate size %d", size)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if size <= int64(len(f.d.b)) {
+		f.d.b = f.d.b[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.d.b)
+		f.d.b = grown
+	}
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	return int64(len(f.d.b)), nil
+}
+
+func (f *memFile) Sync() error { return f.checkOpen() }
+
+func (f *memFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -69,8 +69,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -163,11 +163,11 @@ type RecordInfo struct {
 // concurrent use: appends and compactions are serialized, reads run
 // concurrently against the immutable written prefix.
 type Store struct {
-	dir  string
+	b    Backend
 	opts Options
 
 	mu   sync.RWMutex
-	f    *os.File
+	f    File
 	size int64
 	idx  []indexEntry
 	// last caches the newest record's materialized payload so
@@ -192,18 +192,26 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenBackend(NewDir(dir), opts)
+}
+
+// OpenBackend opens the store inside an arbitrary Backend namespace and
+// recovers the record index exactly as Open does for a directory. The
+// backend may hold prior store content (reopening over the same backend
+// is a restart).
+func OpenBackend(b Backend, opts Options) (*Store, error) {
+	f, err := b.Open(logName)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, f: f}
+	s := &Store{b: b, opts: opts, f: f}
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	if !opts.NoSync {
-		// Persist the directory entry of a freshly created log.
-		if err := syncDir(dir); err != nil {
+		// Persist the namespace entry of a freshly created log.
+		if err := b.Sync(); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -226,11 +234,10 @@ func (s *Store) maxChain() int {
 // recover scans the log, building the index from the longest valid
 // record prefix and truncating everything after it.
 func (s *Store) recover() error {
-	info, err := s.f.Stat()
+	fileSize, err := s.f.Size()
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	fileSize := info.Size()
 	var (
 		off  int64
 		hdr  [headerSize]byte
@@ -345,8 +352,9 @@ func applyDelta(dst, payload []byte) {
 	}
 }
 
-// Dir returns the store directory.
-func (s *Store) Dir() string { return s.dir }
+// Dir returns the store directory (the backend's Root; a placeholder
+// for non-directory backends).
+func (s *Store) Dir() string { return s.b.Root() }
 
 // frameRecord builds one complete on-disk record: header, payload, CRC.
 func frameRecord(magic uint32, version uint64, payload []byte) []byte {
@@ -710,15 +718,14 @@ func (s *Store) compactLocked() error {
 	first := len(s.idx) - s.opts.Retain
 	keep := s.idx[first:]
 	layout, layoutOK := s.compactionLayoutLocked(keep)
-	logPath := filepath.Join(s.dir, logName)
-	tmpPath := logPath + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmpName := logName + ".tmp"
+	tmp, err := s.b.Create(tmpName)
 	if err != nil {
 		return fmt.Errorf("store: compacting: %w", err)
 	}
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.b.Remove(tmpName)
 		return fmt.Errorf("store: compacting: %w", err)
 	}
 	newIdx := make([]indexEntry, 0, len(keep))
@@ -780,7 +787,7 @@ func (s *Store) compactLocked() error {
 			return fail(err)
 		}
 	}
-	if err := os.Rename(tmpPath, logPath); err != nil {
+	if err := s.b.Rename(tmpName, logName); err != nil {
 		return fail(err)
 	}
 	// The rename took effect: tmp is now the log. Swap handles.
@@ -790,7 +797,7 @@ func (s *Store) compactLocked() error {
 	s.size = off
 	s.compactions++
 	if !s.opts.NoSync {
-		if err := syncDir(s.dir); err != nil {
+		if err := s.b.Sync(); err != nil {
 			return err
 		}
 	}
@@ -840,34 +847,34 @@ func (s *Store) SaveState(name string, payload []byte) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	path := filepath.Join(s.dir, name+".state")
-	tmpPath := path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	stateName := name + ".state"
+	tmpName := stateName + ".tmp"
+	tmp, err := s.b.Create(tmpName)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(rec); err != nil {
+	if _, err := tmp.WriteAt(rec, 0); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.b.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
 	if !s.opts.NoSync {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			s.b.Remove(tmpName)
 			return fmt.Errorf("store: %w", err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		s.b.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmpPath, path); err != nil {
-		os.Remove(tmpPath)
+	if err := s.b.Rename(tmpName, stateName); err != nil {
+		s.b.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
 	if !s.opts.NoSync {
-		return syncDir(s.dir)
+		return s.b.Sync()
 	}
 	return nil
 }
@@ -881,9 +888,9 @@ func (s *Store) LoadState(name string) (payload []byte, ok bool, err error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	b, err := os.ReadFile(filepath.Join(s.dir, name+".state"))
+	b, err := s.b.ReadFile(name + ".state")
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, false, nil
 		}
 		return nil, false, fmt.Errorf("store: %w", err)
@@ -924,17 +931,4 @@ func (s *Store) Close() error {
 	s.f = nil
 	s.last = nil
 	return err
-}
-
-// syncDir fsyncs a directory so renames and creations in it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: syncing %s: %w", dir, err)
-	}
-	return nil
 }

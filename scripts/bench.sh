@@ -5,9 +5,11 @@
 # Runs the two reconstruction benchmarks that gate solver performance
 # (Fig 16 constraint ablation and the initialization ablation), the
 # drift-monitor observe benchmark, the snapshot-store append+load and
-# delta-append benchmarks, and the locate-index query benchmarks (10x
+# delta-append benchmarks, the locate-index query benchmarks (10x
 # and 100x office-sized grids across search tiers, plus the KNN top-k
-# scan) with -benchmem, prints the result, and appends one JSON line
+# scan), and the fleet LRU query benchmarks (hot resident path and the
+# cold park/rehydrate cycle) with -benchmem, prints the result, and
+# appends one JSON line
 # per benchmark to BENCH_recon.json so successive PRs leave a comparable
 # trajectory:
 #
@@ -47,11 +49,19 @@
 #	LocateTraced/sampled     <=     16  (~8 measured: the copy-on-retain
 #	                                     of the span tree into the ring
 #	                                     when every trace is kept)
+#	FleetHotQuery            <=      2  (0 measured: a resident site's
+#	                                     Hydrate is one atomic load plus
+#	                                     an LRU touch, and the Locate
+#	                                     scratch is pooled)
+#	FleetColdQuery           <=    200  (~58 measured: every op pays a
+#	                                     full park/rehydrate cycle —
+#	                                     store read, delta resolution,
+#	                                     snapshot + index build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply|LocateLargeGrid|KNNNeighbors|LocateTraced' \
+out="$(go test -run '^$' -bench 'Fig16ConstraintAblation|AblationInitialization|MonitorObserve|StoreAppendLoad|StoreAppendDelta|ReplicaApply|LocateLargeGrid|KNNNeighbors|LocateTraced|FleetHotQuery|FleetColdQuery' \
 	-benchtime "$benchtime" -benchmem "$@" . ./internal/store ./internal/loc)"
 echo "$out"
 
@@ -89,6 +99,8 @@ BEGIN {
 	budget["BenchmarkKNNNeighbors"] = 2
 	budget["BenchmarkLocateTraced/unsampled"] = 2
 	budget["BenchmarkLocateTraced/sampled"] = 16
+	budget["BenchmarkFleetHotQuery"] = 2
+	budget["BenchmarkFleetColdQuery"] = 200
 	failures = 0
 }
 /^Benchmark/ {

@@ -16,7 +16,27 @@ type storeConfig struct {
 	retain   int
 	noSync   bool
 	maxChain int
+	backend  Backend
 }
+
+// Backend is the pluggable storage namespace a Store lives in — a flat
+// set of named files holding the record log and auxiliary state blobs.
+// The default is a local directory; NewMemoryBackend backs the same
+// durability contract with RAM. See the internal store package docs for
+// the exact guarantees an implementation must provide (atomic rename,
+// inode-style open-handle semantics, fsync-before-swap).
+type Backend = store.Backend
+
+// BackendFile is one open file inside a Backend's namespace.
+type BackendFile = store.File
+
+// NewMemoryBackend returns an empty in-memory Backend: the store's full
+// record format and recovery machinery running against RAM. Content
+// lives exactly as long as the Backend value — reopening a store over
+// the same Backend is the in-memory analogue of a process restart —
+// making it the right base for tests, benchmarks and ephemeral sites
+// that should not cost disk.
+func NewMemoryBackend() Backend { return store.NewMemory() }
 
 // WithRetention keeps only the newest n snapshot versions on disk
 // (default 0: keep every version forever). Older versions are removed by
@@ -44,6 +64,15 @@ func WithMaxChain(n int) StoreOption {
 		n = -1
 	}
 	return func(c *storeConfig) { c.maxChain = n }
+}
+
+// WithBackend opens the store inside the given Backend namespace
+// instead of a local directory; the dir argument of OpenStore is then
+// ignored. The on-disk record format, recovery, compaction and the
+// fsync-before-swap durability contract are identical across backends —
+// only where the bytes land changes.
+func WithBackend(b Backend) StoreOption {
+	return func(c *storeConfig) { c.backend = b }
 }
 
 // Store is a durable, versioned snapshot store: one directory holding an
@@ -86,7 +115,14 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	st, err := store.Open(dir, store.Options{Retain: cfg.retain, NoSync: cfg.noSync, MaxChain: cfg.maxChain})
+	iopts := store.Options{Retain: cfg.retain, NoSync: cfg.noSync, MaxChain: cfg.maxChain}
+	var st *store.Store
+	var err error
+	if cfg.backend != nil {
+		st, err = store.OpenBackend(cfg.backend, iopts)
+	} else {
+		st, err = store.Open(dir, iopts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("iupdater: %w", err)
 	}
@@ -129,6 +165,11 @@ func (s *Store) Records() []RecordInfo {
 // empty.
 func (s *Store) LatestVersion() uint64 { return s.st.LastVersion() }
 
+// OldestVersion returns the compaction horizon — the oldest retained
+// version — or 0 when the store is empty. Rollback and replication
+// resume cannot reach below it.
+func (s *Store) OldestVersion() uint64 { return s.st.OldestVersion() }
+
 // SnapshotAt reads the stored snapshot at the given version: the
 // fingerprint matrix and the geometry it was published under.
 func (s *Store) SnapshotAt(version uint64) (Matrix, Geometry, error) {
@@ -141,6 +182,30 @@ func (s *Store) SnapshotAt(version uint64) (Matrix, Geometry, error) {
 		return Matrix{}, Geometry{}, fmt.Errorf("iupdater: snapshot v%d: %w", version, err)
 	}
 	return fp, g, nil
+}
+
+// SaveState atomically replaces the named auxiliary state blob stored
+// alongside the snapshot log (write-temp, fsync, rename): either the
+// previous blob or the new one survives a crash, never a torn mix. The
+// drift monitor persists its calibrated baseline this way under
+// "monitor"; serve mode keeps its fleet manifest under "manifest".
+// Names must be non-empty and must not contain path separators.
+func (s *Store) SaveState(name string, payload []byte) error {
+	if err := s.st.SaveState(name, payload); err != nil {
+		return fmt.Errorf("iupdater: %w", err)
+	}
+	return nil
+}
+
+// LoadState reads the named auxiliary state blob. A missing or
+// corrupted blob reports ok=false with no error — state blobs are
+// best-effort caches and advisory records, never required for recovery.
+func (s *Store) LoadState(name string) (payload []byte, ok bool, err error) {
+	payload, ok, err = s.st.LoadState(name)
+	if err != nil {
+		return nil, false, fmt.Errorf("iupdater: %w", err)
+	}
+	return payload, ok, nil
 }
 
 // Compactions returns how many log rewrites dropped history this store
